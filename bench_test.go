@@ -1,0 +1,285 @@
+// Benchmark harness: one benchmark per paper table/figure (regenerating the
+// artifact at reduced scale and reporting its headline metrics via
+// b.ReportMetric) plus micro-benchmarks for the design choices DESIGN.md
+// calls out (drop-plan generation, lookahead formulation, cost-model
+// fitting, virtual-memory remap, coordinated transfer, event kernel).
+//
+// Run: go test -bench=. -benchmem
+package kunserve
+
+import (
+	"testing"
+
+	"kunserve/internal/batching"
+	"kunserve/internal/core/lookahead"
+	"kunserve/internal/core/planner"
+	"kunserve/internal/costmodel"
+	"kunserve/internal/experiments"
+	"kunserve/internal/gpu"
+	"kunserve/internal/memory"
+	"kunserve/internal/model"
+	"kunserve/internal/network"
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+)
+
+// --- Table / figure regeneration benches -------------------------------
+
+func BenchmarkTable1ModelMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 5 {
+			b.Fatal("rows")
+		}
+	}
+	rows := experiments.Table1()
+	b.ReportMetric(rows[0].RatioPct, "qwen14b-ratio-%")
+	b.ReportMetric(rows[3].RatioPct, "qwen3-235b-ratio-%")
+}
+
+func BenchmarkFigure2Overload(b *testing.B) {
+	var r *experiments.Figure2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure2(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PeakOverP50["Drop KVCache"], "drop-peak/p50-x")
+	b.ReportMetric(r.PeakOverP50["Swap KVCache"], "swap-peak/p50-x")
+	b.ReportMetric(r.PeakOverP50["Migrate KVCache"], "migrate-peak/p50-x")
+}
+
+func BenchmarkFigure5DropDegree(b *testing.B) {
+	cfg := experiments.Quick()
+	cfg.Instances = 4
+	var rows []experiments.Figure5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TPOTP50*1000, "dp-tpot50-ms")
+	b.ReportMetric(rows[len(rows)-1].TPOTP50*1000, "deepest-tpot50-ms")
+}
+
+func BenchmarkFigure12EndToEnd(b *testing.B) {
+	var runs *experiments.Figure12Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		runs, err = experiments.RunAllSystems(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ks := runs.Find(experiments.SysKunServe)
+	dp := runs.Find(experiments.SysVLLMDP)
+	b.ReportMetric(ks.TTFTP99, "kunserve-p99ttft-s")
+	b.ReportMetric(dp.TTFTP99, "vllm-p99ttft-s")
+	b.ReportMetric(ks.Throughput/1000, "kunserve-ktok/s")
+}
+
+func BenchmarkFigure13Percentiles(b *testing.B) {
+	var fig *experiments.Figure13Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = experiments.Figure13(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lo, hi := fig.TailSpeedup()
+	b.ReportMetric(lo, "tail-speedup-min-x")
+	b.ReportMetric(hi, "tail-speedup-max-x")
+	b.ReportMetric(fig.Violations[experiments.SysKunServe][3]*100, "kunserve-slo5-viol-%")
+}
+
+func BenchmarkFigure14Ablation(b *testing.B) {
+	var rows []experiments.Figure14Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure14(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Label == "+Lookahead" {
+			b.ReportMetric(r.BubbleRatio*100, "lookahead-bubble-%")
+			b.ReportMetric(r.TTFTP99, "lookahead-p99ttft-s")
+		}
+		if r.Label == "+Coordinated ex." {
+			b.ReportMetric(r.BubbleRatio*100, "tokencount-bubble-%")
+		}
+	}
+}
+
+func BenchmarkFigure15CostModel(b *testing.B) {
+	var r *experiments.Figure15Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure15(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.OursMaxDev, "ours-maxdev-%")
+	b.ReportMetric(r.BlindMaxDev, "blind-maxdev-%")
+}
+
+func BenchmarkFigure16Restore(b *testing.B) {
+	cfg := experiments.Quick()
+	cfg.Duration = 160 * sim.Second
+	var r *experiments.Figure16Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure16(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Rows[2].Drops), "drops")
+	b.ReportMetric(float64(r.Rows[2].Restores), "restores")
+	b.ReportMetric(r.Rows[2].TPOTP50*1000, "restore-tpot50-ms")
+	b.ReportMetric(r.Rows[1].TPOTP50*1000, "norestore-tpot50-ms")
+}
+
+func BenchmarkFigure17ExtremeBurst(b *testing.B) {
+	var r *experiments.Figure17Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure17(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Rows[1].CapacityGB, "kunserve-peakcap-GB")
+	b.ReportMetric(r.Rows[0].CapacityGB, "vllm-cap-GB")
+	b.ReportMetric(float64(r.Rows[1].Drops), "drops")
+}
+
+// --- Design-choice micro-benches ----------------------------------------
+
+func BenchmarkDropPlanner(b *testing.B) {
+	groups := make([]planner.GroupState, 64)
+	for i := range groups {
+		groups[i] = planner.GroupState{ID: i, Size: 1 + i%3}
+	}
+	const copyBytes = 28 << 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Derive(groups, copyBytes, 20*copyBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookaheadFormulation(b *testing.B) {
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	m, err := costmodel.FitFromTimer(timer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &lookahead.Former{Model: m}
+	var items []batching.Item
+	for i := 0; i < 64; i++ {
+		r := request.New(i, 0, 500+i*100, 8)
+		items = append(items, batching.Item{Req: r, IsPrefill: true, Chunk: 500 + i*100})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.Form(items, 4); len(got) == 0 {
+			b.Fatal("no microbatches")
+		}
+	}
+}
+
+func BenchmarkTokenCountFormulation(b *testing.B) {
+	var items []batching.Item
+	for i := 0; i < 64; i++ {
+		r := request.New(i, 0, 500+i*100, 8)
+		items = append(items, batching.Item{Req: r, IsPrefill: true, Chunk: 500 + i*100})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := batching.SplitByTokenCount(items, 8); len(got) == 0 {
+			b.Fatal("no microbatches")
+		}
+	}
+}
+
+func BenchmarkCostModelFit(b *testing.B) {
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := costmodel.FitFromTimer(timer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCostModelEval(b *testing.B) {
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	m, err := costmodel.FitFromTimer(timer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := make([]gpu.ChunkWork, 64)
+	for i := range work {
+		work[i] = gpu.ChunkWork{PrefixLen: i * 50, ChunkLen: 1 + i*10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.BatchSeconds(work) <= 0 {
+			b.Fatal("degenerate")
+		}
+	}
+}
+
+func BenchmarkMemoryRemap(b *testing.B) {
+	mgr := memory.NewManager(80 << 30)
+	if _, err := mgr.Reserve("params", 28<<30); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mgr.Reserve("kvcache", 40<<30); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.MoveBetween("params", "kvcache", 14<<30); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mgr.MoveBetween("kvcache", "params", 14<<30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoordinatedExchange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		l := network.NewLink(s, "x", network.RDMA200, network.DefaultLatency)
+		// 10 GB exchange in 256 MiB chunks with interleaved activations.
+		done := false
+		l.SendChunked(10<<30, 256<<20, network.PriorityBulk, "kv", func() { done = true })
+		for j := 0; j < 100; j++ {
+			l.Send(1<<20, network.PriorityActivation, "act", nil)
+		}
+		s.Run()
+		if !done {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkSimKernel(b *testing.B) {
+	s := sim.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(sim.Microsecond, "e", func() {})
+		s.Step()
+	}
+	b.ReportMetric(float64(s.Processed), "events")
+}

@@ -1,0 +1,146 @@
+// Command kunserve-sim regenerates the paper's tables and figures on the
+// simulated serving substrate.
+//
+// Usage:
+//
+//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig14|fig15|fig16|fig17|all \
+//	    [-scale quick|full|clusterb] [-dataset burstgpt|sharegpt|longbench] \
+//	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kunserve/internal/experiments"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1, fig2, fig5, fig12, fig13, fig14, fig15, fig16, fig17, all")
+		scale     = flag.String("scale", "quick", "quick (2 instances, 64s), full (8 instances, 128s), clusterb (72B on H800)")
+		dataset   = flag.String("dataset", "", "burstgpt, sharegpt or longbench (default per experiment)")
+		instances = flag.Int("instances", 0, "override instance count")
+		seed      = flag.Int64("seed", 0, "override RNG seed")
+		duration  = flag.Float64("duration", 0, "override trace duration in seconds")
+		load      = flag.Float64("load", 0, "load multiplier on the derived base RPS")
+	)
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	switch *scale {
+	case "quick":
+	case "full":
+		cfg = experiments.Full()
+	case "clusterb":
+		cfg = experiments.ClusterB()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *dataset != "" {
+		ds, err := workload.DatasetByName(*dataset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Dataset = ds
+	}
+	if *instances > 0 {
+		cfg.Instances = *instances
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *duration > 0 {
+		cfg.Duration = sim.DurationFromSeconds(*duration)
+	}
+	if *load > 0 {
+		cfg.LoadMultiplier = *load
+	}
+
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config) error {
+	out := os.Stdout
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			experiments.PrintTable1(out, experiments.Table1())
+		case "fig2":
+			r, err := experiments.Figure2(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure2(out, r)
+		case "fig5":
+			rows, err := experiments.Figure5(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure5(out, rows)
+		case "fig12":
+			r, err := experiments.Figure12(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure12(out, r)
+		case "fig13":
+			r, err := experiments.Figure13(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure13(out, r)
+		case "fig12+13":
+			runs, err := experiments.RunAllSystems(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure12(out, runs)
+			experiments.PrintFigure13(out, experiments.Figure13From(runs))
+		case "fig14":
+			rows, err := experiments.Figure14(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure14(out, rows)
+		case "fig15":
+			r, err := experiments.Figure15(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure15(out, r)
+		case "fig16":
+			r, err := experiments.Figure16(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure16(out, r)
+		case "fig17":
+			r, err := experiments.Figure17(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure17(out, r)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if exp == "all" {
+		for _, name := range []string{"table1", "fig2", "fig5", "fig12+13", "fig14", "fig15", "fig16", "fig17"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}

@@ -1,0 +1,73 @@
+// Command tracegen generates and rescales request traces (§5.1
+// methodology): BurstGPT-patterned arrivals with dataset-specific length
+// distributions, optionally upscaled TraceUpscaler-style, written as CSV.
+//
+// Usage:
+//
+//	tracegen -dataset sharegpt -duration 128 -rps 10 -schedule burst \
+//	    -upscale 2.5 -seed 42 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "burstgpt", "burstgpt, sharegpt or longbench")
+		duration = flag.Float64("duration", 128, "trace duration in seconds")
+		rps      = flag.Float64("rps", 10, "base request rate")
+		schedule = flag.String("schedule", "burst", "burst, longrun or steady")
+		upscale  = flag.Float64("upscale", 1, "TraceUpscaler-style rate multiplier")
+		seed     = flag.Int64("seed", 42, "RNG seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	ds, err := workload.DatasetByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	d := sim.DurationFromSeconds(*duration)
+	var sched []workload.RateSegment
+	switch *schedule {
+	case "burst":
+		sched = workload.ScaledBurstSchedule(*rps, d)
+	case "longrun":
+		sched = workload.ScaledLongRunSchedule(*rps, d)
+	case "steady":
+		sched = workload.SteadySchedule(*rps)
+	default:
+		fatal(fmt.Errorf("unknown -schedule %q", *schedule))
+	}
+	tr := workload.Generate(*seed, d, sched, ds)
+	if *upscale != 1 {
+		tr = workload.Upscale(tr, *upscale, *seed+1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	in, outLen := tr.MeanLens()
+	fmt.Fprintf(os.Stderr, "%d requests over %v (avg %.1f req/s, mean in/out %.0f/%.0f tokens)\n",
+		len(tr.Requests), tr.Duration(), tr.AvgRPS(), in, outLen)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Burst handling: run the same overloading burst under all five systems
+// (vLLM DP/PP, InferCept, Llumnix, KunServe) and compare the tails — a
+// miniature of the paper's Figure 12/13.
+//
+//	go run ./examples/burst_handling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kunserve/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Quick()
+	fmt.Println("running the five systems on the same BurstGPT burst (reduced scale)...")
+	runs, err := experiments.RunAllSystems(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintFigure12(os.Stdout, runs)
+	experiments.PrintFigure13(os.Stdout, experiments.Figure13From(runs))
+
+	ks := runs.Find(experiments.SysKunServe)
+	dp := runs.Find(experiments.SysVLLMDP)
+	if ks != nil && dp != nil && ks.TTFTP99 > 0 {
+		fmt.Printf("\nKunServe vs vLLM (DP): P50 TTFT %.1fx, P99 TTFT %.1fx faster\n",
+			dp.TTFTP50/ks.TTFTP50, dp.TTFTP99/ks.TTFTP99)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: serve a small bursty workload with KunServe and print the
+// latency outcome next to the reconfiguration events.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kunserve/internal/cluster"
+	"kunserve/internal/core"
+	"kunserve/internal/gpu"
+	"kunserve/internal/model"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+func main() {
+	// A two-instance Qwen-2.5-14B deployment on A800s with KVCache
+	// provisioned at ~2x the workload's average demand.
+	policy := core.New(core.Options{})
+	c, err := cluster.New(cluster.Config{
+		Seed:             1,
+		Model:            model.Qwen25_14B(),
+		GPU:              gpu.A800(),
+		Instances:        2,
+		KVProvisionBytes: 12 << 30,
+		Policy:           policy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 60-second BurstGPT-patterned trace whose burst doubles the rate.
+	trace := workload.Generate(7, 60*sim.Second,
+		workload.ScaledBurstSchedule(8, 60*sim.Second),
+		workload.BurstGPTDataset())
+	fmt.Printf("serving %d requests (avg %.1f req/s) on %d instances\n",
+		len(trace.Requests), trace.AvgRPS(), len(c.Instances))
+
+	col := c.Serve(trace, trace.Duration().Add(120*sim.Second))
+
+	fmt.Printf("finished %d/%d requests\n", col.TTFT.Count(), len(trace.Requests))
+	fmt.Printf("TTFT  P50 %.3fs  P99 %.3fs\n", col.TTFT.Percentile(50), col.TTFT.Percentile(99))
+	fmt.Printf("TPOT  P50 %.1fms P99 %.1fms\n", col.TPOT.Percentile(50)*1000, col.TPOT.Percentile(99)*1000)
+	fmt.Printf("throughput %.0f tokens/s\n", col.ThroughputTokensPerSec())
+	for _, e := range policy.Events() {
+		fmt.Printf("%-8s at %v..%v: %+.1f GB of parameters <-> KVCache (groups: %d)\n",
+			e.Kind, e.Start, e.End, float64(e.FreedBytes)/1e9, e.Groups)
+	}
+	if policy.Drops() == 0 {
+		fmt.Println("no overload encountered; try a higher rate to see a drop")
+	}
+}

@@ -1,0 +1,261 @@
+package batching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kunserve/internal/request"
+)
+
+func prefillReq(id, inputLen int) *request.Request {
+	r := request.New(id, 0, inputLen, 10)
+	return r
+}
+
+func decodeReq(id, inputLen int) *request.Request {
+	r := request.New(id, 0, inputLen, 10)
+	r.SetState(request.StateRunning)
+	r.AdvancePrefill(inputLen, 1)
+	return r
+}
+
+func TestFormIterationDecodePriority(t *testing.T) {
+	decodes := []*request.Request{decodeReq(1, 100), decodeReq(2, 200)}
+	prefills := []*request.Request{prefillReq(3, 500)}
+	items := FormIteration(decodes, prefills, Budget{MaxTokens: 301})
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].IsPrefill || items[1].IsPrefill {
+		t.Fatal("decode items must come first")
+	}
+	if items[0].Chunk != 1 || items[0].Prefix != 100 {
+		t.Fatalf("decode item = %+v", items[0])
+	}
+	// Remaining budget 299 chunks the 500-token prefill.
+	if !items[2].IsPrefill || items[2].Chunk != 299 || items[2].Prefix != 0 {
+		t.Fatalf("prefill item = %+v", items[2])
+	}
+	if TotalTokens(items) != 301 {
+		t.Fatalf("total = %d", TotalTokens(items))
+	}
+}
+
+func TestFormIterationBudgetStopsPrefill(t *testing.T) {
+	prefills := []*request.Request{prefillReq(1, 1000), prefillReq(2, 1000)}
+	items := FormIteration(nil, prefills, Budget{MaxTokens: 1000})
+	if len(items) != 1 {
+		t.Fatalf("items = %d, want 1 (budget exhausted)", len(items))
+	}
+	if items[0].Chunk != 1000 {
+		t.Fatalf("chunk = %d", items[0].Chunk)
+	}
+}
+
+func TestFormIterationPartialPrefillContinues(t *testing.T) {
+	r := prefillReq(1, 1000)
+	r.SetState(request.StateRunning)
+	r.AdvancePrefill(600, 1)
+	items := FormIteration(nil, []*request.Request{r}, Budget{MaxTokens: 2048})
+	if len(items) != 1 {
+		t.Fatal("no item for partially prefilled request")
+	}
+	if items[0].Chunk != 400 || items[0].Prefix != 600 {
+		t.Fatalf("item = %+v, want chunk 400 prefix 600", items[0])
+	}
+}
+
+func TestFormIterationMaxSeqs(t *testing.T) {
+	var decodes []*request.Request
+	for i := 0; i < 10; i++ {
+		decodes = append(decodes, decodeReq(i, 10))
+	}
+	items := FormIteration(decodes, nil, Budget{MaxTokens: 2048, MaxSeqs: 4})
+	if len(items) != 4 {
+		t.Fatalf("items = %d, want 4 (MaxSeqs)", len(items))
+	}
+}
+
+func TestFormIterationSkipsFinishedPrefills(t *testing.T) {
+	done := decodeReq(1, 100) // prefill complete
+	items := FormIteration(nil, []*request.Request{done}, Budget{MaxTokens: 100})
+	if len(items) != 0 {
+		t.Fatal("completed prefill produced an item")
+	}
+}
+
+func TestFormIterationBadBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero budget did not panic")
+		}
+	}()
+	FormIteration(nil, nil, Budget{})
+}
+
+func TestToChunkWork(t *testing.T) {
+	items := []Item{
+		{Chunk: 5, Prefix: 10, IsPrefill: true},
+		{Chunk: 1, Prefix: 99},
+	}
+	w := ToChunkWork(items)
+	if len(w) != 2 || w[0].ChunkLen != 5 || w[0].PrefixLen != 10 || w[1].ChunkLen != 1 {
+		t.Fatalf("work = %+v", w)
+	}
+	if items[0].Tokens() != 5 {
+		t.Fatal("Tokens()")
+	}
+}
+
+func TestSplitByTokenCountEven(t *testing.T) {
+	items := []Item{
+		{Req: prefillReq(1, 400), IsPrefill: true, Chunk: 400},
+		{Req: prefillReq(2, 400), IsPrefill: true, Chunk: 400},
+	}
+	mbs := SplitByTokenCount(items, 2)
+	if len(mbs) != 2 {
+		t.Fatalf("microbatches = %d", len(mbs))
+	}
+	if TotalTokens(mbs[0]) != 400 || TotalTokens(mbs[1]) != 400 {
+		t.Fatalf("token split = %d/%d", TotalTokens(mbs[0]), TotalTokens(mbs[1]))
+	}
+}
+
+func TestSplitByTokenCountChunksAcrossBoundary(t *testing.T) {
+	// One 1000-token prefill into 4 microbatches: must be chunked with
+	// increasing prefixes.
+	items := []Item{{Req: prefillReq(1, 1000), IsPrefill: true, Chunk: 1000}}
+	mbs := SplitByTokenCount(items, 4)
+	if len(mbs) != 4 {
+		t.Fatalf("microbatches = %d", len(mbs))
+	}
+	wantPrefix := 0
+	total := 0
+	for i, mb := range mbs {
+		if len(mb) != 1 {
+			t.Fatalf("microbatch %d has %d items", i, len(mb))
+		}
+		if mb[0].Prefix != wantPrefix {
+			t.Fatalf("microbatch %d prefix = %d, want %d", i, mb[0].Prefix, wantPrefix)
+		}
+		wantPrefix += mb[0].Chunk
+		total += mb[0].Chunk
+	}
+	if total != 1000 {
+		t.Fatalf("chunks sum to %d", total)
+	}
+}
+
+func TestSplitByTokenCountDecodeNeverSplit(t *testing.T) {
+	var items []Item
+	for i := 0; i < 7; i++ {
+		items = append(items, Item{Req: decodeReq(i, 50), Chunk: 1, Prefix: 50})
+	}
+	mbs := SplitByTokenCount(items, 3)
+	total := 0
+	for _, mb := range mbs {
+		for _, it := range mb {
+			if it.Chunk != 1 {
+				t.Fatal("decode item was split")
+			}
+			total++
+		}
+	}
+	if total != 7 {
+		t.Fatalf("items lost: %d", total)
+	}
+	if len(mbs) > 3 {
+		t.Fatalf("microbatches = %d > 3", len(mbs))
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	if got := SplitByTokenCount(nil, 4); got != nil {
+		t.Fatal("empty split")
+	}
+	items := []Item{{Req: prefillReq(1, 100), IsPrefill: true, Chunk: 100}}
+	one := SplitByTokenCount(items, 1)
+	if len(one) != 1 || TotalTokens(one[0]) != 100 {
+		t.Fatal("m=1 should be identity")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("m=0 did not panic")
+			}
+		}()
+		SplitByTokenCount(items, 0)
+	}()
+}
+
+// Property: splitting conserves tokens, never exceeds m microbatches, and
+// keeps per-request chunk prefixes consistent (consecutive, increasing).
+func TestPropertySplitConservation(t *testing.T) {
+	f := func(lens []uint16, m8 uint8) bool {
+		m := 1 + int(m8)%8
+		var items []Item
+		for i, l := range lens {
+			n := 1 + int(l)%2000
+			items = append(items, Item{
+				Req: prefillReq(i, n), IsPrefill: true, Chunk: n,
+			})
+		}
+		before := TotalTokens(items)
+		mbs := SplitByTokenCount(items, m)
+		if len(mbs) > m {
+			return false
+		}
+		after := 0
+		prefixes := map[*request.Request]int{}
+		for _, mb := range mbs {
+			for _, it := range mb {
+				after += it.Chunk
+				if want, seen := prefixes[it.Req]; seen && it.Prefix != want {
+					return false
+				}
+				prefixes[it.Req] = it.Prefix + it.Chunk
+			}
+		}
+		return after == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FormIteration never exceeds budget and decode items always
+// precede prefill items.
+func TestPropertyFormIterationBudget(t *testing.T) {
+	f := func(dLens, pLens []uint16, budget16 uint16) bool {
+		b := Budget{MaxTokens: 1 + int(budget16)%4096, MaxSeqs: 64}
+		var decodes, prefills []*request.Request
+		for i, l := range dLens {
+			if len(decodes) >= 32 {
+				break
+			}
+			decodes = append(decodes, decodeReq(i, 1+int(l)%1000))
+		}
+		for i, l := range pLens {
+			if len(prefills) >= 32 {
+				break
+			}
+			prefills = append(prefills, prefillReq(1000+i, 1+int(l)%4000))
+		}
+		items := FormIteration(decodes, prefills, b)
+		if TotalTokens(items) > b.MaxTokens {
+			return false
+		}
+		seenPrefill := false
+		for _, it := range items {
+			if it.IsPrefill {
+				seenPrefill = true
+			} else if seenPrefill {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

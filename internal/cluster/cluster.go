@@ -1,0 +1,318 @@
+// Package cluster implements the multi-instance serving system all five
+// evaluated policies run on: a global dispatcher with load balancing, a
+// monitor that tracks memory demand (including head-of-line queued
+// requests), serving groups executing continuous batching with chunked
+// prefill — pipelined when a group spans instances — and the plug-in point
+// where overload-handling policies (recompute, swap, migrate, parameter
+// drop) act.
+package cluster
+
+import (
+	"fmt"
+
+	"kunserve/internal/batching"
+	"kunserve/internal/gpu"
+	"kunserve/internal/instance"
+	"kunserve/internal/kvcache"
+	"kunserve/internal/metrics"
+	"kunserve/internal/model"
+	"kunserve/internal/network"
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+// Config assembles a serving cluster.
+type Config struct {
+	Seed      int64
+	Model     *model.Config
+	GPU       *gpu.Spec
+	Instances int
+	// NetBandwidth is the per-instance egress bandwidth in bytes/s.
+	NetBandwidth float64
+	// BlockTokens is the KV block size (the paper tunes vLLM to 64).
+	BlockTokens int
+	// Budget bounds each iteration batch.
+	Budget batching.Budget
+	// MonitorInterval is the global monitor's sampling period.
+	MonitorInterval sim.Duration
+	// MetricsWindow is the time-series bin width.
+	MetricsWindow sim.Duration
+	// KVProvisionBytes caps each instance's KVCache region (0 = all free
+	// HBM); the paper provisions KVCache relative to average demand.
+	KVProvisionBytes int64
+	// Policy is the overload-handling mechanism under test.
+	Policy Policy
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.NetBandwidth == 0 {
+		out.NetBandwidth = network.RDMA200
+	}
+	if out.BlockTokens == 0 {
+		out.BlockTokens = 64
+	}
+	if out.Budget.MaxTokens == 0 {
+		out.Budget = batching.DefaultBudget()
+	}
+	if out.MonitorInterval == 0 {
+		out.MonitorInterval = sim.Second
+	}
+	if out.MetricsWindow == 0 {
+		out.MetricsWindow = 4 * sim.Second
+	}
+	return out
+}
+
+// Cluster is one serving deployment under one policy.
+type Cluster struct {
+	Sim       *sim.Simulation
+	Model     *model.Config
+	GPU       *gpu.Spec
+	Fabric    *network.Fabric
+	Instances []*instance.Instance
+	Collector *metrics.Collector
+	Policy    Policy
+
+	BlockTokens int
+	Budget      batching.Budget
+
+	groups      []*Group
+	nextGroupID int
+
+	monitorInterval sim.Duration
+	outstanding     int
+	horizonReached  bool
+
+	// HostParamReplica reflects §4.4 fault tolerance: parameters are
+	// replicated in host DRAM so restoration always succeeds.
+	HostParamReplica bool
+}
+
+// New builds the cluster and runs the policy's Setup to form initial
+// groups.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Model == nil || cfg.GPU == nil {
+		return nil, fmt.Errorf("cluster: nil model or GPU spec")
+	}
+	if cfg.Instances <= 0 {
+		return nil, fmt.Errorf("cluster: %d instances", cfg.Instances)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("cluster: nil policy")
+	}
+	c := &Cluster{
+		Sim:              sim.New(cfg.Seed),
+		Model:            cfg.Model,
+		GPU:              cfg.GPU,
+		Policy:           cfg.Policy,
+		BlockTokens:      cfg.BlockTokens,
+		Budget:           cfg.Budget,
+		monitorInterval:  cfg.MonitorInterval,
+		Collector:        metrics.NewCollector(cfg.MetricsWindow),
+		HostParamReplica: true,
+	}
+	c.Fabric = network.NewFabric(c.Sim, cfg.Instances, cfg.NetBandwidth, network.DefaultLatency)
+	for i := 0; i < cfg.Instances; i++ {
+		in, err := instance.NewProvisioned(i, cfg.GPU, cfg.Model, cfg.KVProvisionBytes)
+		if err != nil {
+			return nil, err
+		}
+		c.Instances = append(c.Instances, in)
+	}
+	if err := cfg.Policy.Setup(c); err != nil {
+		return nil, err
+	}
+	if len(c.groups) == 0 {
+		return nil, fmt.Errorf("cluster: policy %s formed no groups", cfg.Policy.Name())
+	}
+	return c, nil
+}
+
+// NewGroup forms a group over the given instance IDs (stage order) and
+// registers it. Instances must already hold their intended layer shards.
+func (c *Cluster) NewGroup(instanceIDs []int) (*Group, error) {
+	insts := make([]*instance.Instance, len(instanceIDs))
+	for i, id := range instanceIDs {
+		if id < 0 || id >= len(c.Instances) {
+			return nil, fmt.Errorf("cluster: instance id %d out of range", id)
+		}
+		insts[i] = c.Instances[id]
+	}
+	g, err := newGroup(c.nextGroupID, c, insts)
+	if err != nil {
+		return nil, err
+	}
+	c.nextGroupID++
+	c.groups = append(c.groups, g)
+	return g, nil
+}
+
+// Groups returns the live groups.
+func (c *Cluster) Groups() []*Group {
+	out := make([]*Group, 0, len(c.groups))
+	for _, g := range c.groups {
+		if !g.closed {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// GroupByID finds a live group.
+func (c *Cluster) GroupByID(id int) *Group {
+	for _, g := range c.groups {
+		if g.ID == id && !g.closed {
+			return g
+		}
+	}
+	return nil
+}
+
+// RemoveGroup unregisters a closed group.
+func (c *Cluster) RemoveGroup(g *Group) {
+	for i, x := range c.groups {
+		if x == g {
+			c.groups = append(c.groups[:i], c.groups[i+1:]...)
+			return
+		}
+	}
+}
+
+// Outstanding returns requests dispatched but not yet finished.
+func (c *Cluster) Outstanding() int { return c.outstanding }
+
+func (c *Cluster) requestFinished() { c.outstanding-- }
+
+// Dispatch routes a request to the least-loaded live group (the
+// Llumnix-style load-balancing dispatcher every system shares, §3).
+func (c *Cluster) Dispatch(r *request.Request) {
+	var best *Group
+	var bestLoad float64
+	for _, g := range c.groups {
+		if g.closed {
+			continue
+		}
+		load := float64(g.DemandTokens()) / float64(g.CapacityTokens())
+		if best == nil || load < bestLoad {
+			best, bestLoad = g, load
+		}
+	}
+	if best == nil {
+		panic("cluster: no live groups to dispatch to")
+	}
+	best.Enqueue(r)
+}
+
+// DemandBytes returns cluster-wide KV memory demand in bytes.
+func (c *Cluster) DemandBytes() int64 {
+	var tokens int64
+	for _, g := range c.groups {
+		if !g.closed {
+			tokens += int64(g.DemandTokens())
+		}
+	}
+	return tokens * c.Model.KVBytesPerToken()
+}
+
+// CapacityBytes returns cluster-wide KV capacity in bytes.
+func (c *Cluster) CapacityBytes() int64 {
+	var tokens int64
+	for _, g := range c.groups {
+		if !g.closed {
+			tokens += int64(g.CapacityTokens())
+		}
+	}
+	return tokens * c.Model.KVBytesPerToken()
+}
+
+// UsedBytes returns allocated KV bytes cluster-wide.
+func (c *Cluster) UsedBytes() int64 {
+	var tokens int64
+	for _, g := range c.groups {
+		if !g.closed {
+			tokens += int64(g.UsedTokens())
+		}
+	}
+	return tokens * c.Model.KVBytesPerToken()
+}
+
+func (c *Cluster) monitorTick() {
+	c.Collector.ObserveKVDemand(c.Sim.Now(), c.DemandBytes())
+	c.Policy.OnTick(c)
+	// Nudge idle groups: asynchronous memory relief (swap completions,
+	// migrations) does not always have a wake edge.
+	for _, g := range c.groups {
+		if !g.closed {
+			g.Wake()
+		}
+	}
+	if c.outstanding > 0 || !c.horizonReached {
+		c.Sim.After(c.monitorInterval, "monitor", c.monitorTick)
+	}
+}
+
+// Serve dispatches the trace and runs the simulation until horizon (or
+// until the event queue drains past it). It returns the collector for
+// analysis.
+func (c *Cluster) Serve(tr *workload.Trace, horizon sim.Time) *metrics.Collector {
+	c.outstanding = len(tr.Requests)
+	for _, wr := range tr.Requests {
+		wr := wr
+		c.Sim.At(wr.Arrival, fmt.Sprintf("arrive:%d", wr.ID), func() {
+			r := request.New(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen)
+			c.Dispatch(r)
+		})
+	}
+	c.Sim.After(c.monitorInterval, "monitor", c.monitorTick)
+	c.Sim.RunUntil(horizon)
+	c.horizonReached = true
+	return c.Collector
+}
+
+// TransplantRequests moves extracted requests into a successor group:
+// running requests get fresh sequences sized to their current KV footprint
+// (the physical copy is the exchange engine's job); requests whose KV does
+// not fit are preempted for recompute; waiting requests join the queue in
+// order.
+func TransplantRequests(dst *Group, running, waiting []*request.Request, stalled map[int]*request.Request) {
+	for _, r := range running {
+		if r.Seq == nil {
+			// Lost its sequence mid-reconfiguration: recompute.
+			r.ResetForRecompute()
+			if r.State() != request.StateQueued {
+				r.SetState(request.StateQueued)
+			}
+			dst.Enqueue(r)
+			continue
+		}
+		tokens := r.Seq.Tokens()
+		seq, err := dst.pool.NewSeq(tokens)
+		if err != nil {
+			r.Seq.Free()
+			r.Seq = nil
+			r.ResetForRecompute()
+			r.SetState(request.StateQueued)
+			dst.Enqueue(r)
+			continue
+		}
+		r.Seq.Free()
+		r.Seq = seq
+		dst.AdoptRunning(r)
+		if s, ok := stalled[r.ID]; ok && s != nil {
+			dst.stalled[r.ID] = r
+		}
+	}
+	for _, r := range waiting {
+		r.GroupID = dst.ID
+		dst.waitQ = append(dst.waitQ, r)
+	}
+}
+
+// Seq re-exported types for policies.
+type (
+	// Seq aliases the KV sequence type for policy implementations.
+	Seq = kvcache.Seq
+)

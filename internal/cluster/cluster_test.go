@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"testing"
+
+	"kunserve/internal/gpu"
+	"kunserve/internal/model"
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+// recomputePolicy is vLLM's default mechanism: preempt the youngest
+// running request and recompute it later. It doubles as the test policy.
+type recomputePolicy struct{ BasePolicy }
+
+func (recomputePolicy) Name() string           { return "recompute" }
+func (recomputePolicy) Setup(c *Cluster) error { return SetupDP(c) }
+
+func (recomputePolicy) HandlePressure(g *Group, need int) bool {
+	v := g.Victim()
+	if v == nil {
+		return false
+	}
+	g.PreemptRecompute(v)
+	return true
+}
+
+// ppSetupPolicy statically halves parameters pairwise: the vLLM (PP)
+// baseline shape.
+type ppSetupPolicy struct{ recomputePolicy }
+
+func (ppSetupPolicy) Name() string { return "pp" }
+func (ppSetupPolicy) Setup(c *Cluster) error {
+	for i := 0; i+1 < len(c.Instances); i += 2 {
+		a, b := c.Instances[i], c.Instances[i+1]
+		half := a.Model.Layers / 2
+		if _, err := a.DropLayers(a.Model.Layers - half); err != nil {
+			return err
+		}
+		if _, err := b.DropLayers(half); err != nil {
+			return err
+		}
+		if _, err := c.NewGroup([]int{a.ID, b.ID}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func testCluster(t *testing.T, instances int, pol Policy) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Seed:      1,
+		Model:     model.Qwen25_14B(),
+		GPU:       gpu.A800(),
+		Instances: instances,
+		Policy:    pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func smallTrace(n int, gap float64, in, out int) *workload.Trace {
+	tr := &workload.Trace{Name: "test"}
+	for i := 0; i < n; i++ {
+		tr.Requests = append(tr.Requests, workload.Request{
+			ID:        i,
+			Arrival:   sim.FromSeconds(float64(i) * gap),
+			InputLen:  in,
+			OutputLen: out,
+		})
+	}
+	return tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{Model: model.Qwen25_14B(), GPU: gpu.A800(), Instances: 1, Policy: recomputePolicy{}}
+	bad := []func(Config) Config{
+		func(c Config) Config { c.Model = nil; return c },
+		func(c Config) Config { c.GPU = nil; return c },
+		func(c Config) Config { c.Instances = 0; return c },
+		func(c Config) Config { c.Policy = nil; return c },
+	}
+	for i, mutate := range bad {
+		if _, err := New(mutate(base)); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestServeCompletesAllRequests(t *testing.T) {
+	c := testCluster(t, 1, recomputePolicy{})
+	tr := smallTrace(10, 0.5, 512, 64)
+	col := c.Serve(tr, sim.FromSeconds(120))
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", c.Outstanding())
+	}
+	if col.TTFT.Count() != 10 {
+		t.Fatalf("finished = %d", col.TTFT.Count())
+	}
+	// Unloaded TTFT should be sub-second (one ~512-token prefill).
+	if p50 := col.TTFT.Percentile(50); p50 > 1.0 {
+		t.Errorf("P50 TTFT = %.3fs under no load", p50)
+	}
+	// TPOT should be tens of ms (decode-iteration scale).
+	if p50 := col.TPOT.Percentile(50); p50 <= 0 || p50 > 0.2 {
+		t.Errorf("P50 TPOT = %.4fs", p50)
+	}
+	if err := c.Groups()[0].Pool().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Groups()[0].Pool().LiveSequences() != 0 {
+		t.Error("leaked sequences after serve")
+	}
+}
+
+func TestTTFTOrderingUnderLightLoad(t *testing.T) {
+	c := testCluster(t, 1, recomputePolicy{})
+	col := c.Serve(smallTrace(3, 2.0, 1024, 8), sim.FromSeconds(60))
+	for _, rec := range col.Records {
+		if rec.TTFT() <= 0 {
+			t.Errorf("request %d TTFT = %v", rec.ID, rec.TTFT())
+		}
+		if rec.TPOT() < 0 {
+			t.Errorf("request %d TPOT = %v", rec.ID, rec.TPOT())
+		}
+	}
+}
+
+func TestDispatchBalancesGroups(t *testing.T) {
+	c := testCluster(t, 2, recomputePolicy{})
+	tr := smallTrace(8, 0.01, 2048, 32)
+	c.Serve(tr, sim.FromSeconds(120))
+	g0, g1 := c.Groups()[0], c.Groups()[1]
+	r0, r1 := g0.roundsRun, g1.roundsRun
+	if r0 == 0 || r1 == 0 {
+		t.Errorf("load not balanced: rounds %d vs %d", r0, r1)
+	}
+}
+
+func TestMemoryPressureTriggersRecompute(t *testing.T) {
+	// Budget the pool so tightly that decode appends must preempt: use
+	// huge requests against a single instance.
+	c := testCluster(t, 1, recomputePolicy{})
+	g := c.Groups()[0]
+	capTokens := g.CapacityTokens()
+	// Each request wants ~45% of capacity at completion; three in flight
+	// overflow the pool mid-decode.
+	in := capTokens * 2 / 5
+	tr := smallTrace(3, 0.05, in, capTokens/10)
+	col := c.Serve(tr, sim.FromSeconds(4000))
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d of %d", c.Outstanding(), len(tr.Requests))
+	}
+	preempts := 0
+	_ = col
+	// Preemptions are recorded on the requests; count via records is not
+	// possible, so track via pool health instead: all sequences freed.
+	if g.Pool().LiveSequences() != 0 {
+		t.Error("leaked sequences")
+	}
+	_ = preempts
+}
+
+func TestPipelinedGroupServes(t *testing.T) {
+	c := testCluster(t, 2, ppSetupPolicy{})
+	if len(c.Groups()) != 1 {
+		t.Fatalf("groups = %d, want 1 PP pair", len(c.Groups()))
+	}
+	g := c.Groups()[0]
+	if g.Stages() != 2 {
+		t.Fatalf("stages = %d", g.Stages())
+	}
+	// PP pair has more KV capacity than a lone DP instance.
+	dp := testCluster(t, 1, recomputePolicy{})
+	if g.CapacityTokens() <= 2*dp.Groups()[0].CapacityTokens() {
+		t.Error("PP should have > 2x one instance's KV capacity")
+	}
+	col := c.Serve(smallTrace(10, 0.3, 1024, 32), sim.FromSeconds(120))
+	if col.TTFT.Count() != 10 {
+		t.Fatalf("finished = %d", col.TTFT.Count())
+	}
+	if g.Engine().BubbleRatio() <= 0 {
+		t.Error("pipelined execution should report bubbles")
+	}
+}
+
+func TestPPSlowerThanDPUnderNoOverload(t *testing.T) {
+	// Figure 12: vLLM (PP) throughput is lower than DP absent overload.
+	trace := smallTrace(40, 0.1, 1024, 64)
+	dp := testCluster(t, 2, recomputePolicy{})
+	dpCol := dp.Serve(trace, sim.FromSeconds(300))
+
+	pp := testCluster(t, 2, ppSetupPolicy{})
+	ppCol := pp.Serve(smallTrace(40, 0.1, 1024, 64), sim.FromSeconds(300))
+
+	if dpCol.TTFT.Count() != 40 || ppCol.TTFT.Count() != 40 {
+		t.Fatalf("finished: dp=%d pp=%d", dpCol.TTFT.Count(), ppCol.TTFT.Count())
+	}
+	if ppCol.TPOT.Percentile(50) <= dpCol.TPOT.Percentile(50) {
+		t.Errorf("PP P50 TPOT %.4f <= DP %.4f; pipeline overhead missing",
+			ppCol.TPOT.Percentile(50), dpCol.TPOT.Percentile(50))
+	}
+}
+
+func TestMonitorRecordsDemand(t *testing.T) {
+	c := testCluster(t, 1, recomputePolicy{})
+	col := c.Serve(smallTrace(5, 0.2, 2048, 64), sim.FromSeconds(60))
+	vals := col.KVDemand.Values()
+	var peak float64
+	for _, v := range vals {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak <= 0 {
+		t.Error("monitor never observed demand")
+	}
+}
+
+func TestDrainAndTransplant(t *testing.T) {
+	c := testCluster(t, 2, recomputePolicy{})
+	g0, g1 := c.Groups()[0], c.Groups()[1]
+
+	// Start some traffic, then drain both groups mid-flight and merge
+	// their requests into a new pipelined group.
+	tr := smallTrace(12, 0.05, 1024, 200)
+	for _, wr := range tr.Requests {
+		wr := wr
+		c.Sim.At(wr.Arrival, "arrive", func() {
+			c.outstanding++
+			c.Dispatch(request.New(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen))
+		})
+	}
+	merged := false
+	c.Sim.At(sim.FromSeconds(1), "merge", func() {
+		drained := 0
+		onDrained := func() {
+			drained++
+			if drained != 2 {
+				return
+			}
+			// Reshape layers: g0's instance keeps first half, g1's
+			// keeps second half.
+			a, b := g0.Instances()[0], g1.Instances()[0]
+			half := a.Model.Layers / 2
+			if _, err := a.DropLayers(a.Model.Layers - half); err != nil {
+				t.Error(err)
+			}
+			if _, err := b.DropLayers(half); err != nil {
+				t.Error(err)
+			}
+			r0, w0, s0 := g0.ExtractRequests()
+			r1, w1, s1 := g1.ExtractRequests()
+			c.RemoveGroup(g0)
+			c.RemoveGroup(g1)
+			ng, err := c.NewGroup([]int{a.ID, b.ID})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			TransplantRequests(ng, r0, w0, s0)
+			TransplantRequests(ng, r1, w1, s1)
+			merged = true
+			ng.Wake()
+		}
+		g0.Drain(onDrained)
+		g1.Drain(onDrained)
+	})
+	c.Sim.RunUntil(sim.FromSeconds(600))
+	if !merged {
+		t.Fatal("merge never happened")
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after merge", c.Outstanding())
+	}
+	if len(c.Groups()) != 1 {
+		t.Fatalf("live groups = %d", len(c.Groups()))
+	}
+	if c.Groups()[0].Pool().LiveSequences() != 0 {
+		t.Error("leaked sequences after merge + drain")
+	}
+}
+
+func TestGroupInvariantsAfterServe(t *testing.T) {
+	c := testCluster(t, 2, recomputePolicy{})
+	c.Serve(smallTrace(20, 0.1, 1500, 100), sim.FromSeconds(400))
+	for _, g := range c.Groups() {
+		if err := g.Pool().CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+		for _, in := range g.Instances() {
+			if err := in.Mem.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	c := testCluster(t, 2, recomputePolicy{})
+	if _, err := c.NewGroup(nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := c.NewGroup([]int{5}); err == nil {
+		t.Error("out-of-range instance accepted")
+	}
+	// Two full copies in one group: layer sum mismatch.
+	if _, err := c.NewGroup([]int{0, 1}); err == nil {
+		t.Error("over-complete group accepted")
+	}
+}
+
+func TestGroupByIDAndRemove(t *testing.T) {
+	c := testCluster(t, 2, recomputePolicy{})
+	g := c.Groups()[0]
+	if c.GroupByID(g.ID) != g {
+		t.Error("GroupByID")
+	}
+	if c.GroupByID(999) != nil {
+		t.Error("phantom group")
+	}
+}

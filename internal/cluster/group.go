@@ -1,0 +1,481 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"kunserve/internal/batching"
+	"kunserve/internal/instance"
+	"kunserve/internal/kvcache"
+	"kunserve/internal/metrics"
+	"kunserve/internal/pipeline"
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+)
+
+// Group is the unit of execution: one or more instances that together hold
+// a complete copy of the model. A singleton group executes normally; a
+// multi-instance group (after a parameter drop, or the static PP baseline)
+// executes with pipeline parallelism.
+//
+// The group runs scheduling rounds: admit waiting requests FCFS, form one
+// iteration batch with chunked prefill, reserve KVCache for the new tokens
+// (invoking the policy under memory pressure), execute — directly or
+// pipelined — then apply token-level bookkeeping and start the next round.
+type Group struct {
+	ID int
+
+	cl        *Cluster
+	instances []*instance.Instance
+	engine    *pipeline.Engine
+	pool      *kvcache.Pool
+
+	waitQ   []*request.Request
+	running []*request.Request
+	stalled map[int]*request.Request
+
+	executing  bool
+	scheduling bool // guards re-entrant startRound from policy callbacks
+	draining   bool
+	onDrained  func()
+	closed     bool
+
+	// lockedRound guards requests whose KV was already reserved this
+	// round against being chosen as preemption victims mid-round.
+	lockedRound map[int]bool
+
+	// queuedAt remembers when each waiting request entered the queue
+	// (diagnostics only).
+	roundsRun int
+}
+
+// newGroup wires a group over instances that must already hold the layer
+// split the caller intends (full copies for singletons, complementary
+// shards for pipelines).
+func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("cluster: empty group")
+	}
+	totalLayers := 0
+	for _, in := range insts {
+		if in.LayersHeld() <= 0 {
+			return nil, fmt.Errorf("cluster: instance %d holds no layers", in.ID)
+		}
+		totalLayers += in.LayersHeld()
+	}
+	m := insts[0].Model
+	if totalLayers != m.Layers {
+		return nil, fmt.Errorf("cluster: group layers %d != model layers %d",
+			totalLayers, m.Layers)
+	}
+	g := &Group{
+		ID:          id,
+		cl:          cl,
+		instances:   insts,
+		stalled:     make(map[int]*request.Request),
+		lockedRound: make(map[int]bool),
+	}
+	// Token capacity is bounded by the tightest stage: each stage holds
+	// its layers' share of every token's KV.
+	capTokens := -1
+	for _, in := range insts {
+		c := in.KVTokenCapacity(in.LayersHeld())
+		if capTokens < 0 || c < capTokens {
+			capTokens = c
+		}
+	}
+	g.pool = kvcache.NewPool(capTokens/cl.BlockTokens, cl.BlockTokens)
+
+	stages := make([]*pipeline.Stage, len(insts))
+	for i, in := range insts {
+		stages[i] = &pipeline.Stage{
+			InstanceID: in.ID,
+			Timer:      in.Timer(),
+			Egress:     cl.Fabric.Egress(in.ID),
+		}
+	}
+	g.engine = pipeline.New(cl.Sim, stages, int64(m.HiddenDim)*m.BytesPerParam)
+	return g, nil
+}
+
+// Cluster returns the owning cluster.
+func (g *Group) Cluster() *Cluster { return g.cl }
+
+// Instances returns the member instances in stage order.
+func (g *Group) Instances() []*instance.Instance { return g.instances }
+
+// Running returns a copy of the running set (policies iterate it while
+// mutating group state).
+func (g *Group) Running() []*request.Request {
+	out := make([]*request.Request, len(g.running))
+	copy(out, g.running)
+	return out
+}
+
+// WaitingRequests returns a copy of the wait queue.
+func (g *Group) WaitingRequests() []*request.Request {
+	out := make([]*request.Request, len(g.waitQ))
+	copy(out, g.waitQ)
+	return out
+}
+
+// IsStalled reports whether a request is currently stalled in this group.
+func (g *Group) IsStalled(r *request.Request) bool { return g.stalled[r.ID] != nil }
+
+// Stages returns the pipeline depth (1 = plain execution).
+func (g *Group) Stages() int { return len(g.instances) }
+
+// Pool returns the group's KV block pool.
+func (g *Group) Pool() *kvcache.Pool { return g.pool }
+
+// Engine exposes the pipeline engine (bubble metrics).
+func (g *Group) Engine() *pipeline.Engine { return g.engine }
+
+// Closed reports whether the group has been dissolved.
+func (g *Group) Closed() bool { return g.closed }
+
+// Executing reports whether a round is in flight.
+func (g *Group) Executing() bool { return g.executing }
+
+// QueueLen returns the number of waiting requests.
+func (g *Group) QueueLen() int { return len(g.waitQ) }
+
+// RunningLen returns the number of admitted requests.
+func (g *Group) RunningLen() int { return len(g.running) }
+
+// Enqueue adds a request to the tail of the wait queue.
+func (g *Group) Enqueue(r *request.Request) {
+	r.GroupID = g.ID
+	g.waitQ = append(g.waitQ, r)
+	g.Wake()
+}
+
+// enqueueFront re-queues a preempted request ahead of new arrivals.
+func (g *Group) enqueueFront(r *request.Request) {
+	r.GroupID = g.ID
+	g.waitQ = append([]*request.Request{r}, g.waitQ...)
+}
+
+// Wake starts a scheduling round if the group is idle.
+func (g *Group) Wake() {
+	if g.executing || g.closed || g.draining {
+		return
+	}
+	g.startRound()
+}
+
+// Stall excludes a running request from scheduling (swap, migration, or
+// KVCache exchange in flight) after moving it to the given state.
+func (g *Group) Stall(r *request.Request, st request.State) {
+	r.SetState(st)
+	g.stalled[r.ID] = r
+}
+
+// Unstall resumes a stalled request.
+func (g *Group) Unstall(r *request.Request) {
+	if _, ok := g.stalled[r.ID]; !ok {
+		panic(fmt.Sprintf("cluster: unstall of non-stalled request %d", r.ID))
+	}
+	delete(g.stalled, r.ID)
+	r.SetState(request.StateRunning)
+	g.Wake()
+}
+
+// StalledCount returns how many running requests are stalled.
+func (g *Group) StalledCount() int { return len(g.stalled) }
+
+// Victim returns the youngest running, unstalled request whose KV was not
+// reserved in the current round — the standard preemption victim — or nil.
+func (g *Group) Victim() *request.Request {
+	var v *request.Request
+	for _, r := range g.running {
+		if g.lockedRound[r.ID] || g.stalled[r.ID] != nil || r.Done() {
+			continue
+		}
+		if v == nil || r.Arrival > v.Arrival {
+			v = r
+		}
+	}
+	return v
+}
+
+// PreemptRecompute drops a running request's KVCache and re-queues it for
+// recomputation (the vLLM default and everyone's last resort).
+func (g *Group) PreemptRecompute(r *request.Request) {
+	g.removeRunning(r)
+	if r.Seq != nil {
+		r.Seq.Free()
+	}
+	r.SetState(request.StatePreempted)
+	r.ResetForRecompute()
+	r.SetState(request.StateQueued)
+	g.enqueueFront(r)
+}
+
+// RemoveRequest detaches a running request from the group without freeing
+// its sequence (migration hands both to the destination).
+func (g *Group) RemoveRequest(r *request.Request) {
+	g.removeRunning(r)
+	delete(g.stalled, r.ID)
+}
+
+// AdoptRunning adds an already-admitted request (with a live Seq in this
+// group's pool) to the running set.
+func (g *Group) AdoptRunning(r *request.Request) {
+	r.GroupID = g.ID
+	g.running = append(g.running, r)
+}
+
+func (g *Group) removeRunning(r *request.Request) {
+	for i, x := range g.running {
+		if x == r {
+			g.running = append(g.running[:i], g.running[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("cluster: request %d not running in group %d", r.ID, g.ID))
+}
+
+// UsedTokens returns tokens of KV currently allocated.
+func (g *Group) UsedTokens() int {
+	return g.pool.UsedBlocks() * g.pool.BlockTokens()
+}
+
+// CapacityTokens returns the pool capacity in tokens.
+func (g *Group) CapacityTokens() int {
+	return g.pool.TotalBlocks() * g.pool.BlockTokens()
+}
+
+// DemandTokens estimates the group's memory demand following the standard
+// accounting (§2.2): the committed KV of in-processing requests (at least
+// their full prompt, since prefill will allocate it) plus the prompts of
+// queued requests.
+func (g *Group) DemandTokens() int {
+	d := 0
+	for _, r := range g.running {
+		committed := r.PrefillTarget()
+		if r.Seq != nil && r.Seq.Tokens() > committed {
+			committed = r.Seq.Tokens()
+		}
+		d += committed
+	}
+	for _, r := range g.waitQ {
+		d += r.PrefillTarget()
+	}
+	return d
+}
+
+// maxRunning bounds the admitted set: vLLM's max_num_seqs per engine,
+// scaled by pipeline depth (each stage hosts a full scheduler's worth).
+func (g *Group) maxRunning() int {
+	if g.cl.Budget.MaxSeqs <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return g.cl.Budget.MaxSeqs * g.Stages()
+}
+
+// admit moves waiting requests into the running set FCFS while their
+// prompts fit in free KV blocks.
+func (g *Group) admit() {
+	for len(g.waitQ) > 0 {
+		if len(g.running) >= g.maxRunning() {
+			return
+		}
+		r := g.waitQ[0]
+		if r.Done() {
+			// Finished elsewhere (shouldn't happen) — drop defensively.
+			g.waitQ = g.waitQ[1:]
+			continue
+		}
+		if !g.pool.CanFit(r.PrefillTarget()) {
+			return
+		}
+		seq, err := g.pool.NewSeq(0)
+		if err != nil {
+			return
+		}
+		g.waitQ = g.waitQ[1:]
+		r.Seq = seq
+		r.SetState(request.StateRunning)
+		g.running = append(g.running, r)
+	}
+}
+
+// schedulable splits running requests into decode-ready and prefilling,
+// excluding stalled ones. Order is deterministic: by arrival, then ID.
+func (g *Group) schedulable() (decodes, prefills []*request.Request) {
+	reqs := make([]*request.Request, 0, len(g.running))
+	for _, r := range g.running {
+		if g.stalled[r.ID] != nil || r.Done() {
+			continue
+		}
+		reqs = append(reqs, r)
+	}
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Arrival != reqs[j].Arrival {
+			return reqs[i].Arrival < reqs[j].Arrival
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
+	for _, r := range reqs {
+		if r.InPrefill() {
+			prefills = append(prefills, r)
+		} else {
+			decodes = append(decodes, r)
+		}
+	}
+	return decodes, prefills
+}
+
+// reserveKV allocates blocks for each item's new tokens, consulting the
+// policy under pressure. Items that still cannot fit are dropped from this
+// round (their requests simply make no progress this iteration).
+func (g *Group) reserveKV(items []batching.Item) []batching.Item {
+	out := items[:0]
+	for _, it := range items {
+		ok := false
+		for attempt := 0; attempt < 64; attempt++ {
+			if it.Req.Seq == nil || it.Req.State() != request.StateRunning {
+				// A previous pressure call preempted or stalled
+				// this request.
+				break
+			}
+			if err := it.Req.Seq.Append(it.Chunk); err == nil {
+				ok = true
+				break
+			}
+			need := g.pool.BlocksForTokens(it.Req.Seq.Tokens()+it.Chunk) - it.Req.Seq.Blocks()
+			if !g.cl.Policy.HandlePressure(g, need) {
+				break
+			}
+		}
+		if ok {
+			g.lockedRound[it.Req.ID] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func (g *Group) startRound() {
+	if g.executing || g.scheduling || g.closed || g.draining {
+		return
+	}
+	g.scheduling = true
+	defer func() { g.scheduling = false }()
+	g.cl.Policy.BeforeAdmit(g)
+	g.admit()
+	decodes, prefills := g.schedulable()
+	// Each pipeline microbatch carries a full token budget (vLLM gives
+	// every in-flight virtual engine max_num_batched_tokens), so the
+	// iteration budget scales with pipeline depth.
+	budget := g.cl.Budget
+	budget.MaxTokens *= g.Stages()
+	if budget.MaxSeqs > 0 {
+		budget.MaxSeqs *= g.Stages()
+	}
+	items := batching.FormIteration(decodes, prefills, budget)
+	g.lockedRound = make(map[int]bool)
+	hadWork := len(items) > 0
+	items = g.reserveKV(items)
+	if len(items) == 0 {
+		if hadWork {
+			// Memory pressure blocked every item and the policy
+			// could not free anything synchronously; retry soon
+			// (asynchronous relief — swap-out completion, a
+			// migration, a drop — will land in the meantime).
+			g.cl.Sim.After(10*sim.Millisecond, "retry-round", g.Wake)
+		}
+		g.fireDrainedIfIdle()
+		return
+	}
+	g.executing = true
+	g.roundsRun++
+	mbs := g.cl.Policy.Former().Form(items, g.Stages())
+	g.engine.RunRound(mbs, func() { g.finishRound(items) })
+}
+
+func (g *Group) finishRound(items []batching.Item) {
+	now := g.cl.Sim.Now()
+	tokens := 0
+	for _, it := range items {
+		r := it.Req
+		if r.Done() || r.State() != request.StateRunning {
+			// Finished earlier in this loop (duplicate item) or
+			// preempted mid-round by a policy action.
+			continue
+		}
+		if it.IsPrefill {
+			before := r.Generated
+			r.AdvancePrefill(it.Chunk, now)
+			if r.Generated > before {
+				tokens++
+			}
+		} else {
+			r.AdvanceDecode(now)
+			tokens++
+		}
+		if r.Done() {
+			g.finishRequest(r, now)
+		}
+	}
+	if tokens > 0 {
+		g.cl.Collector.EmitTokens(now, tokens)
+	}
+	g.executing = false
+	if g.closed {
+		return
+	}
+	if g.draining {
+		g.fireDrainedIfIdle()
+		return
+	}
+	g.startRound()
+}
+
+func (g *Group) finishRequest(r *request.Request, now sim.Time) {
+	g.removeRunning(r)
+	if r.Seq != nil {
+		r.Seq.Free()
+		r.Seq = nil
+	}
+	r.SetState(request.StateFinished)
+	g.cl.Collector.Finish(metrics.RequestRecord{
+		ID:           r.ID,
+		Arrival:      r.Arrival,
+		FirstToken:   r.FirstTokenAt,
+		Completed:    now,
+		OutputTokens: r.OutputLen,
+	})
+	g.cl.requestFinished()
+}
+
+// Drain freezes the group after the in-flight round and calls then once
+// idle. Used by reconfiguration (merge on drop, split on restore).
+func (g *Group) Drain(then func()) {
+	g.draining = true
+	g.onDrained = then
+	g.fireDrainedIfIdle()
+}
+
+func (g *Group) fireDrainedIfIdle() {
+	if g.draining && !g.executing && g.onDrained != nil {
+		fn := g.onDrained
+		g.onDrained = nil
+		fn()
+	}
+}
+
+// ExtractRequests empties the group's request sets for transplantation
+// into a successor group, marking the group closed. Stalled requests are
+// returned within running; callers must preserve their stall bookkeeping.
+func (g *Group) ExtractRequests() (running, waiting []*request.Request, stalled map[int]*request.Request) {
+	if g.executing {
+		panic(fmt.Sprintf("cluster: extracting from executing group %d", g.ID))
+	}
+	running, waiting, stalled = g.running, g.waitQ, g.stalled
+	g.running, g.waitQ = nil, nil
+	g.stalled = make(map[int]*request.Request)
+	g.closed = true
+	return running, waiting, stalled
+}

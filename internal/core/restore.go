@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"kunserve/internal/cluster"
+	"kunserve/internal/network"
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+)
+
+// maybeRestore checks §4.4's condition — KVCache usage below the restore
+// threshold of the *restored* (non-dropped) capacity — and restores one
+// pipelined group per tick. The parameter pull overlaps normal serving at
+// PriorityParameter (below activations, above bulk); only the final split
+// requires a brief drain.
+func (p *Policy) maybeRestore(c *cluster.Cluster) {
+	if p.opts.DisableRestore || p.reconfiguring {
+		return
+	}
+	// Hysteresis: hold the dropped configuration for a while before
+	// restoring, or a momentary lull bounces the cluster back and forth.
+	for _, e := range p.events {
+		if e.Kind == "drop" && c.Sim.Now().Sub(e.End) < p.opts.RestoreHoldoff {
+			return
+		}
+	}
+	for _, g := range c.Groups() {
+		if g.Stages() < 2 {
+			continue
+		}
+		restoredCap := 0
+		for _, in := range g.Instances() {
+			restoredCap += singletonCapacityTokens(in)
+		}
+		used := g.UsedTokens()
+		if g.QueueLen() > 0 {
+			continue // queued demand: restoring now would re-trigger a drop
+		}
+		if float64(used) >= float64(restoredCap)*p.opts.RestoreThreshold {
+			continue
+		}
+		p.restoreGroup(c, g)
+		return // one restoration per tick
+	}
+}
+
+// restoreGroup runs the two-phase restoration: (1) reserve the KV tail and
+// pull missing layers over the network while the group keeps serving;
+// (2) drain briefly, remap memory back to parameters, split into singleton
+// groups and redistribute requests.
+func (p *Policy) restoreGroup(c *cluster.Cluster, g *cluster.Group) {
+	// Phase 0: shrink the pool now so arriving requests cannot occupy
+	// the memory the parameters will need. Abort if the tail is not
+	// free (usage raced upward).
+	targetCap := 0
+	for _, in := range g.Instances() {
+		targetCap += singletonCapacityTokens(in)
+	}
+	removeBlocks := g.Pool().TotalBlocks() - targetCap/g.Pool().BlockTokens()
+	if removeBlocks > 0 {
+		if err := g.Pool().RemoveBlocks(removeBlocks); err != nil {
+			return
+		}
+	}
+	p.reconfiguring = true
+	p.events = append(p.events, Event{Kind: "restore", Start: c.Sim.Now()})
+	eventIdx := len(p.events) - 1
+
+	// Phase 1: pull missing layers, overlapped with serving. Parameters
+	// come from peer instances whenever possible (§4.4); each member
+	// pulls its missing layers as a chunked transfer at parameter
+	// priority on its own NIC.
+	pulls := 0
+	var restoredBytes int64
+	onePullDone := func() {
+		pulls--
+		if pulls > 0 {
+			return
+		}
+		// Phase 2: brief drain, remap, split.
+		g.Drain(func() { p.splitRestoredGroup(c, g, eventIdx) })
+	}
+	for _, in := range g.Instances() {
+		missing := in.Model.Layers - in.LayersHeld()
+		if missing <= 0 {
+			continue
+		}
+		bytes := in.LayerTransferBytes(missing)
+		restoredBytes += bytes
+		pulls++
+		in := in
+		c.Fabric.Egress(in.ID).SendChunked(bytes, p.opts.ExchangeChunkBytes,
+			network.PriorityParameter, fmt.Sprintf("restore:%d", in.ID),
+			onePullDone)
+	}
+	p.events[eventIdx].FreedBytes = -restoredBytes
+	if pulls == 0 {
+		g.Drain(func() { p.splitRestoredGroup(c, g, eventIdx) })
+	}
+}
+
+func (p *Policy) splitRestoredGroup(c *cluster.Cluster, g *cluster.Group, eventIdx int) {
+	running, waiting, _ := g.ExtractRequests()
+	insts := g.Instances()
+	c.RemoveGroup(g)
+
+	var maxRemap sim.Duration
+	newGroups := make([]*cluster.Group, 0, len(insts))
+	for _, in := range insts {
+		if missing := in.Model.Layers - in.LayersHeld(); missing > 0 {
+			d, err := in.RestoreLayers(missing)
+			if err != nil {
+				panic(fmt.Sprintf("kunserve: restore on instance %d: %v", in.ID, err))
+			}
+			if d > maxRemap {
+				maxRemap = d
+			}
+		}
+		ng, err := c.NewGroup([]int{in.ID})
+		if err != nil {
+			panic(fmt.Sprintf("kunserve: singleton group: %v", err))
+		}
+		newGroups = append(newGroups, ng)
+	}
+
+	// Redistribute: running requests round-robin (their KV gathers onto
+	// the owning instance — a bulk transfer that stalls only them),
+	// waiting requests likewise.
+	for i, r := range running {
+		dst := newGroups[i%len(newGroups)]
+		cluster.TransplantRequests(dst, []*request.Request{r}, nil, nil)
+		if r.State() == request.StateRunning && r.Seq != nil {
+			p.startGather(c, dst, r)
+		}
+	}
+	for i, r := range waiting {
+		newGroups[i%len(newGroups)].Enqueue(r)
+	}
+
+	c.Sim.After(maxRemap, "restore-remap", func() {
+		for _, ng := range newGroups {
+			ng.Wake()
+		}
+		p.events[eventIdx].End = c.Sim.Now()
+		p.events[eventIdx].Groups = len(c.Groups())
+		p.reconfiguring = false
+	})
+}
+
+// startGather stalls one request while the shares of its KVCache held by
+// the other former stages transfer to its new home instance.
+func (p *Policy) startGather(c *cluster.Cluster, g *cluster.Group, r *request.Request) {
+	tokens := int64(r.Seq.Tokens())
+	if tokens == 0 {
+		return
+	}
+	// The instance already holds 1/n of each token's KV; the rest
+	// arrives from peers. Charge the dominant (largest single-source)
+	// share on this instance's ingress-equivalent egress link.
+	bytes := tokens * c.Model.KVBytesPerToken()
+	g.Stall(r, request.StateExchanging)
+	c.Fabric.Egress(g.Instances()[0].ID).SendChunked(bytes,
+		p.opts.ExchangeChunkBytes, network.PriorityBulk,
+		fmt.Sprintf("gather:%d", r.ID), func() {
+			if r.State() == request.StateExchanging {
+				g.Unstall(r)
+			}
+		})
+}

@@ -1,0 +1,268 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kunserve/internal/gpu"
+	"kunserve/internal/model"
+)
+
+func fitted14B(t *testing.T) (*Model, *gpu.Timer) {
+	t.Helper()
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	m, err := FitFromTimer(timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, timer
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// y = 2a + 3b + 1, noiseless.
+	x := [][]float64{{1, 0, 1}, {0, 1, 1}, {1, 1, 1}, {2, 3, 1}, {5, 1, 1}}
+	y := make([]float64, len(x))
+	for i, row := range x {
+		y[i] = 2*row[0] + 3*row[1] + 1*row[2]
+	}
+	coef, err := solveLeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 1}
+	for i := range want {
+		if math.Abs(coef[i]-want[i]) > 1e-9 {
+			t.Errorf("coef[%d] = %v, want %v", i, coef[i], want[i])
+		}
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy y = 5x: least squares should land near 5.
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5.1, 9.9, 15.2, 19.8}
+	coef, err := solveLeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-5) > 0.1 {
+		t.Errorf("slope = %v, want ~5", coef[0])
+	}
+}
+
+func TestSolveLeastSquaresErrors(t *testing.T) {
+	if _, err := solveLeastSquares(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := solveLeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, err := solveLeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	// Rank-deficient: identical rows, two unknowns.
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	y := []float64{1, 1, 1}
+	if _, err := solveLeastSquares(x, y); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := solveLeastSquares([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("row/target mismatch accepted")
+	}
+}
+
+// Figure 15's headline: the fitted Eq. 1 model deviates <5% from ground
+// truth across common sequence lengths.
+func TestFittedModelAccuracy(t *testing.T) {
+	m, timer := fitted14B(t)
+	eval := ProfileSingle(timer, []int{0, 1024, 4096}, []int{512, 1024, 2048, 4096, 6144, 8192})
+	if dev := MaxDeviation(m, eval); dev > 0.05 {
+		t.Errorf("max deviation = %.1f%%, paper reports <5%%", dev*100)
+	}
+}
+
+// Figure 15's baseline: the attention-blind model deviates far more, and
+// worst on long prefixes.
+func TestTokenCountModelDeviates(t *testing.T) {
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	samples := ProfileSingle(timer, []int{0, 512, 1024, 2048, 4096, 8192},
+		[]int{128, 256, 512, 1024, 2048, 4096, 8192})
+	blind, err := FitTokenCount(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalNoPrefix := ProfileSingle(timer, []int{0}, []int{512, 8192})
+	evalPrefix := ProfileSingle(timer, []int{8192}, []int{512})
+	if MaxDeviation(blind, evalNoPrefix) <= MaxDeviation(full, evalNoPrefix) {
+		t.Error("blind model should be worse without prefix")
+	}
+	if dev := MaxDeviation(blind, evalPrefix); dev < 0.10 {
+		t.Errorf("blind model long-prefix deviation = %.1f%%, expected large", dev*100)
+	}
+	if dev := MaxDeviation(full, evalPrefix); dev > 0.05 {
+		t.Errorf("our model long-prefix deviation = %.1f%%, want <5%%", dev*100)
+	}
+}
+
+func TestFittedCoefficientsPositive(t *testing.T) {
+	m, _ := fitted14B(t)
+	if m.Alpha <= 0 {
+		t.Errorf("Alpha = %v", m.Alpha)
+	}
+	if m.Beta <= 0 {
+		t.Errorf("Beta = %v", m.Beta)
+	}
+	if m.Lambda < 0 {
+		t.Errorf("Lambda = %v", m.Lambda)
+	}
+}
+
+// Batching identical chunks must be predicted cheaper than executing them
+// separately (the λ elimination).
+func TestLambdaMakesBatchesCheaper(t *testing.T) {
+	m, _ := fitted14B(t)
+	if m.Lambda == 0 {
+		t.Skip("lambda degenerate for this timer")
+	}
+	chunks := []gpu.ChunkWork{
+		{PrefixLen: 0, ChunkLen: 256}, {PrefixLen: 0, ChunkLen: 256},
+		{PrefixLen: 0, ChunkLen: 256}, {PrefixLen: 0, ChunkLen: 256},
+	}
+	batched := m.BatchSeconds(chunks)
+	var separate float64
+	for _, c := range chunks {
+		separate += m.ChunkSeconds(c.PrefixLen, c.ChunkLen)
+	}
+	if batched >= separate {
+		t.Errorf("batched %v >= separate %v", batched, separate)
+	}
+}
+
+func TestChunkSecondsEdgeCases(t *testing.T) {
+	m := &Model{Alpha: 1e-9, Beta: 1e-6, Gamma: 1e-3}
+	if m.ChunkSeconds(100, 0) != 0 {
+		t.Error("zero chunk has non-zero cost")
+	}
+	if m.ChunkSeconds(100, -5) != 0 {
+		t.Error("negative chunk has non-zero cost")
+	}
+	if m.BatchSeconds(nil) != 0 {
+		t.Error("empty batch has non-zero cost")
+	}
+	// Batch with one valid chunk applies no lambda.
+	one := m.BatchSeconds([]gpu.ChunkWork{{ChunkLen: 10}, {ChunkLen: 0}})
+	if one != m.ChunkSeconds(0, 10) {
+		t.Error("zero-length chunks should be skipped without lambda")
+	}
+}
+
+func TestBatchSecondsNeverNegative(t *testing.T) {
+	m := &Model{Beta: 1e-9, Gamma: 1e-9, Lambda: 1}
+	chunks := []gpu.ChunkWork{{ChunkLen: 1}, {ChunkLen: 1}, {ChunkLen: 1}}
+	if got := m.BatchSeconds(chunks); got < 0 {
+		t.Errorf("negative batch cost %v", got)
+	}
+}
+
+func TestLatterChunkCostsMoreThanFormer(t *testing.T) {
+	// Figure 9: a chunked request's second half costs more than the first
+	// because it attends to the first.
+	m, _ := fitted14B(t)
+	former := m.ChunkSeconds(0, 2048)
+	latter := m.ChunkSeconds(2048, 2048)
+	if latter <= former {
+		t.Errorf("latter chunk %v <= former %v", latter, former)
+	}
+}
+
+func TestProfileSingleSkipsBadChunks(t *testing.T) {
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	s := ProfileSingle(timer, []int{0}, []int{0, -1, 128})
+	if len(s) != 1 {
+		t.Fatalf("got %d samples, want 1", len(s))
+	}
+}
+
+func TestProfileBatchesSkipsSingletons(t *testing.T) {
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	s := ProfileBatches(timer, []int{1, 2, 4}, 128)
+	if len(s) != 2 {
+		t.Fatalf("got %d samples, want 2", len(s))
+	}
+}
+
+func TestFitErrorsOnNoSamples(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("fit on empty samples accepted")
+	}
+}
+
+func TestDeviationOnZeroSample(t *testing.T) {
+	m := &Model{}
+	if d := m.Deviation(Sample{Seconds: 0}); d != 0 {
+		t.Errorf("deviation on zero sample = %v", d)
+	}
+	if MeanDeviation(m, nil) != 0 {
+		t.Error("mean deviation on empty set")
+	}
+}
+
+func TestH800FitAlsoAccurate(t *testing.T) {
+	timer := gpu.NewTimer(gpu.H800(), model.Qwen25_72B(), 4)
+	m, err := FitFromTimer(timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := ProfileSingle(timer, []int{0, 2048}, []int{1024, 4096, 8192})
+	if dev := MaxDeviation(m, eval); dev > 0.08 {
+		t.Errorf("72B/H800 max deviation = %.1f%%", dev*100)
+	}
+}
+
+// Property: model predictions are monotone in chunk length for fixed prefix
+// whenever the fitted coefficients are positive.
+func TestPropertyModelMonotone(t *testing.T) {
+	m, _ := fitted14B(t)
+	f := func(p uint16, a, b uint16) bool {
+		ca, cb := 1+int(a)%8192, 1+int(b)%8192
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return m.ChunkSeconds(int(p), ca) <= m.ChunkSeconds(int(p), cb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: batch cost equals sum of chunk costs minus (n-1)λ for n valid
+// chunks (Eq. 3 as stated).
+func TestPropertyBatchCostFormula(t *testing.T) {
+	m, _ := fitted14B(t)
+	f := func(lens []uint16) bool {
+		var chunks []gpu.ChunkWork
+		var sum float64
+		for _, l := range lens {
+			c := gpu.ChunkWork{PrefixLen: int(l) % 2048, ChunkLen: 1 + int(l)%1024}
+			chunks = append(chunks, c)
+			sum += m.ChunkSeconds(c.PrefixLen, c.ChunkLen)
+		}
+		if len(chunks) == 0 {
+			return m.BatchSeconds(chunks) == 0
+		}
+		want := sum - float64(len(chunks)-1)*m.Lambda
+		if want < 0 {
+			want = 0
+		}
+		got := m.BatchSeconds(chunks)
+		return math.Abs(got-want) < 1e-12 || math.Abs(got-want) < 1e-9*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations are rank-deficient
+// (e.g., all profiling samples identical).
+var ErrSingular = errors.New("costmodel: singular normal equations")
+
+// solveLeastSquares returns x minimizing ||Xx - y||_2 via the normal
+// equations with partial-pivot Gaussian elimination. The design matrices
+// here are tiny (2–3 columns), so the normal-equation conditioning is fine.
+func solveLeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("costmodel: %d rows vs %d targets", len(x), len(y))
+	}
+	cols := len(x[0])
+	if cols == 0 || len(x) < cols {
+		return nil, fmt.Errorf("costmodel: %d samples for %d unknowns", len(x), cols)
+	}
+	// Build A = X^T X and b = X^T y.
+	a := make([][]float64, cols)
+	for i := range a {
+		a[i] = make([]float64, cols+1)
+	}
+	for r, row := range x {
+		if len(row) != cols {
+			return nil, fmt.Errorf("costmodel: ragged design matrix at row %d", r)
+		}
+		for i := 0; i < cols; i++ {
+			for j := 0; j < cols; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][cols] += row[i] * y[r]
+		}
+	}
+	// Gaussian elimination with partial pivoting on the augmented matrix.
+	for col := 0; col < cols; col++ {
+		pivot := col
+		for r := col + 1; r < cols; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-30 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := col + 1; r < cols; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= cols; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	out := make([]float64, cols)
+	for col := cols - 1; col >= 0; col-- {
+		sum := a[col][cols]
+		for c := col + 1; c < cols; c++ {
+			sum -= a[col][c] * out[c]
+		}
+		out[col] = sum / a[col][col]
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return out, nil
+}

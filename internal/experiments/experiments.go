@@ -1,0 +1,267 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a function returning typed rows or
+// series plus a printer producing the paper-style output; the kunserve-sim
+// CLI and the root benchmark suite both drive these functions.
+//
+// Absolute numbers come from the simulated substrate, not the authors'
+// testbed; the reproduced artifacts are the comparisons — who wins, by what
+// rough factor, and where the crossovers fall (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/baselines"
+	"kunserve/internal/cluster"
+	"kunserve/internal/core"
+	"kunserve/internal/gpu"
+	"kunserve/internal/model"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+// System identifies one evaluated serving system.
+type System string
+
+// The five systems of §5.1.
+const (
+	SysVLLMDP    System = "vLLM (DP)"
+	SysVLLMPP    System = "vLLM (PP)"
+	SysInferCept System = "InferCept"
+	SysLlumnix   System = "Llumnix"
+	SysKunServe  System = "KunServe"
+)
+
+// AllSystems lists the systems in the paper's legend order.
+func AllSystems() []System {
+	return []System{SysVLLMDP, SysVLLMPP, SysInferCept, SysLlumnix, SysKunServe}
+}
+
+// NewPolicy builds a fresh policy for the system (policies are stateful and
+// must not be shared across clusters).
+func NewPolicy(s System) cluster.Policy {
+	switch s {
+	case SysVLLMDP:
+		return baselines.VLLMDP{}
+	case SysVLLMPP:
+		return baselines.VLLMPP()
+	case SysInferCept:
+		return baselines.NewInferCept()
+	case SysLlumnix:
+		return baselines.NewLlumnix()
+	case SysKunServe:
+		return core.New(core.Options{})
+	}
+	panic(fmt.Sprintf("experiments: unknown system %q", s))
+}
+
+// Config scales an experiment. Zero values select the paper-faithful
+// setup; Quick() shrinks everything for tests and benchmarks.
+type Config struct {
+	// Model and GPU identify the deployment (Cluster A: 14B on A800;
+	// Cluster B: 72B on H800).
+	Model *model.Config
+	GPU   *gpu.Spec
+	// Instances is the serving-instance count (8 on Cluster A, 2 on B).
+	Instances int
+	// NetBandwidth is the scale-out bandwidth in bytes/s.
+	NetBandwidth float64
+	// Seed drives all randomness.
+	Seed int64
+	// Duration is the trace length.
+	Duration sim.Duration
+	// BaseRPS is the pre-burst request rate; the §5.1 methodology
+	// targets ~50-60% average memory demand.
+	BaseRPS float64
+	// LoadMultiplier scales the derived BaseRPS (1.0 when zero); reduced
+	// configs use it to reach overload within shorter traces.
+	LoadMultiplier float64
+	// Dataset selects request lengths.
+	Dataset workload.Dataset
+	// HorizonSlack extends the simulation past the trace end so queued
+	// work drains.
+	HorizonSlack sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == nil {
+		c.Model = model.Qwen25_14B()
+	}
+	if c.GPU == nil {
+		c.GPU = gpu.A800()
+	}
+	if c.Instances == 0 {
+		c.Instances = 8
+	}
+	if c.NetBandwidth == 0 {
+		c.NetBandwidth = 200e9 / 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Duration == 0 {
+		c.Duration = 128 * sim.Second
+	}
+	if c.BaseRPS == 0 {
+		c.BaseRPS = c.defaultRPS()
+		if c.LoadMultiplier > 0 {
+			c.BaseRPS *= c.LoadMultiplier
+		}
+	}
+	if c.Dataset.Name == "" {
+		c.Dataset = workload.BurstGPTDataset()
+	}
+	if c.HorizonSlack == 0 {
+		c.HorizonSlack = 180 * sim.Second
+	}
+	return c
+}
+
+// datasetStats returns the mean input/output lengths used for sizing.
+func (c Config) datasetStats() (in, out float64) {
+	switch c.Dataset.Name {
+	case "sharegpt":
+		return 1660, 373
+	case "longbench":
+		return 5900, 499
+	default:
+		return 700, 280
+	}
+}
+
+// defaultRPS scales the trace to the testbed the way §5.1 does ("scale
+// BurstGPT's RPS to fit the serving capacity"): the pre-burst rate targets
+// ~45% of the cluster's compute throughput, so the 2.1x burst stays within
+// compute (≈95%) — the overload the burst causes is a *memory* overload,
+// exactly the regime §2.2 describes.
+func (c Config) defaultRPS() float64 {
+	in, out := c.datasetStats()
+	perInstanceTokPerSec := c.GPU.PeakFLOPS * c.GPU.ComputeEff *
+		float64(c.Model.GPUsPerInstance) / (2 * float64(c.Model.ActiveParamCount))
+	clusterTokPerSec := perInstanceTokPerSec * float64(c.Instances)
+	return 0.45 * clusterTokPerSec / (in + out)
+}
+
+// kvProvision applies the paper's provisioning methodology (§2.2: "HBM
+// provisioned for KVCache is 2.1x higher than the average requirement"):
+// the per-instance KV region is sized at ProvisionFactor times the
+// workload's average live KV, so bursts overload memory the way the
+// evaluation's testbed does. Returns 0 (provision everything) when the
+// rule would exceed the available region anyway.
+func (c Config) kvProvision() int64 {
+	in, out := c.datasetStats()
+	// Average live KV per instance via Little's law: arrival rate x
+	// residence x mean live context. Residence ≈ decode phase at the
+	// typical loaded TPOT plus prefill/queue slack.
+	perInstanceRPS := c.BaseRPS / float64(c.Instances)
+	// Residence at the *unloaded* TPOT (~30 ms/token): provisioning is a
+	// capacity-planning decision made against healthy-state telemetry.
+	residence := out*0.03 + 0.3
+	liveTokens := perInstanceRPS * residence * (in + out/2)
+	provision := int64(2.1 * liveTokens * float64(c.Model.KVBytesPerToken()))
+	min := int64(4) << 30
+	if provision < min {
+		provision = min
+	}
+	return provision
+}
+
+// capacityTokensOf computes one full-copy instance's KV token capacity.
+func capacityTokensOf(m *model.Config, g *gpu.Spec) int {
+	total := g.HBMBytes * int64(m.GPUsPerInstance)
+	reserved := int64(float64(total) * 0.10)
+	return int((total - reserved - m.ParamBytes()) / m.KVBytesPerToken())
+}
+
+// Quick returns a reduced-scale config for tests and benchmarks: 2
+// instances and a 64 s trace run slightly hotter so the burst overloads
+// within the shorter window. Comparative shapes survive the shrink; wall
+// time drops from minutes to seconds.
+func Quick() Config {
+	return Config{
+		Instances: 2,
+		Duration:  64 * sim.Second,
+		Seed:      7,
+	}
+}
+
+// Full returns the paper-faithful Cluster A setup.
+func Full() Config { return Config{} }
+
+// ClusterB returns the Cluster B setup (72B with TP=4 on H800; the paper
+// serves 2 multi-GPU instances there).
+func ClusterB() Config {
+	return Config{
+		Model:        model.Qwen25_72B(),
+		GPU:          gpu.H800(),
+		Instances:    2,
+		NetBandwidth: 400e9 / 8,
+	}
+}
+
+// BuildTrace generates the experiment's trace: BurstGPT arrivals scaled to
+// the config with the configured dataset's lengths.
+func (c Config) BuildTrace() *workload.Trace {
+	cfg := c.withDefaults()
+	return workload.Generate(cfg.Seed, cfg.Duration,
+		workload.ScaledBurstSchedule(cfg.BaseRPS, cfg.Duration), cfg.Dataset)
+}
+
+// Run serves the trace on a fresh cluster under the given system and
+// returns the cluster (collector inside).
+func (c Config) Run(s System, tr *workload.Trace) (*cluster.Cluster, error) {
+	cfg := c.withDefaults()
+	cl, err := cluster.New(cluster.Config{
+		Seed:             cfg.Seed,
+		Model:            cfg.Model,
+		GPU:              cfg.GPU,
+		Instances:        cfg.Instances,
+		NetBandwidth:     cfg.NetBandwidth,
+		KVProvisionBytes: cfg.kvProvision(),
+		Policy:           NewPolicy(s),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", s, err)
+	}
+	horizon := tr.Duration().Add(cfg.HorizonSlack)
+	cl.Serve(tr, horizon)
+	return cl, nil
+}
+
+// RunPolicy is Run with an explicit policy (ablations).
+func (c Config) RunPolicy(pol cluster.Policy, tr *workload.Trace) (*cluster.Cluster, error) {
+	cfg := c.withDefaults()
+	cl, err := cluster.New(cluster.Config{
+		Seed:             cfg.Seed,
+		Model:            cfg.Model,
+		GPU:              cfg.GPU,
+		Instances:        cfg.Instances,
+		NetBandwidth:     cfg.NetBandwidth,
+		KVProvisionBytes: cfg.kvProvision(),
+		Policy:           pol,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", pol.Name(), err)
+	}
+	horizon := tr.Duration().Add(cfg.HorizonSlack)
+	cl.Serve(tr, horizon)
+	return cl, nil
+}
+
+// printHeader writes a figure banner.
+func printHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// fseries formats a float series compactly.
+func fseries(vals []float64, scale float64, format string) string {
+	out := ""
+	for i, v := range vals {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf(format, v*scale)
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := []struct {
+		size, ratio float64
+	}{
+		{28, 34.4}, {136, 42.3}, {756, 59.1}, {479, 74.8}, {1572, 61.4},
+	}
+	for i, r := range rows {
+		if math.Abs(r.SizeGB-want[i].size) > want[i].size*0.02 {
+			t.Errorf("%s size %.0f, want %.0f", r.Model, r.SizeGB, want[i].size)
+		}
+		if math.Abs(r.RatioPct-want[i].ratio) > 1 {
+			t.Errorf("%s ratio %.1f, want %.1f", r.Model, r.RatioPct, want[i].ratio)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFigure2ShowsSpikes(t *testing.T) {
+	r, err := Figure2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RPS) == 0 || len(r.DemandGB) == 0 {
+		t.Fatal("missing panels")
+	}
+	if r.CapacityGB <= 0 {
+		t.Fatal("capacity")
+	}
+	for _, label := range []string{"Drop KVCache", "Swap KVCache", "Migrate KVCache"} {
+		if len(r.MeanTTFT[label]) == 0 {
+			t.Errorf("%s: no TTFT series", label)
+		}
+		// Under the overload burst every KVCache-centric mechanism
+		// suffers a visible TTFT spike relative to P50.
+		if r.PeakOverP50[label] < 2 {
+			t.Errorf("%s: peak/P50 = %.1f, expected a spike", label, r.PeakOverP50[label])
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure2(&buf, r)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFigure5MoreDropsMoreLatency(t *testing.T) {
+	cfg := Quick()
+	cfg.Instances = 4 // widths 1, 2, 4
+	rows, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Figure 5's takeaway: deeper pipelines (more dropped) have higher
+	// latency. Compare DP vs deepest on TPOT P50 (the steady metric).
+	dp, deepest := rows[0], rows[len(rows)-1]
+	if deepest.TPOTP50 <= dp.TPOTP50 {
+		t.Errorf("drop-%0.f%% TPOT %.4f <= DP %.4f", deepest.DropPct,
+			deepest.TPOTP50, dp.TPOTP50)
+	}
+	var buf bytes.Buffer
+	PrintFigure5(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFigure12And13EndToEnd(t *testing.T) {
+	runs, err := RunAllSystems(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs.Systems) != 5 {
+		t.Fatalf("systems = %d", len(runs.Systems))
+	}
+	ks := runs.Find(SysKunServe)
+	if ks == nil {
+		t.Fatal("no KunServe run")
+	}
+	// Headline shape: KunServe's tail TTFT beats the primary baseline
+	// (vLLM DP) and is at worst comparable to every other baseline. The
+	// paper's absolute 12.7-72.2x factors depend on a memory-rich
+	// testbed; the simulated substrate reproduces the ordering (see
+	// EXPERIMENTS.md for magnitude discussion).
+	dp := runs.Find(SysVLLMDP)
+	if ks.TTFTP99 >= dp.TTFTP99 {
+		t.Errorf("KunServe P99 %.3fs >= vLLM (DP) %.3fs", ks.TTFTP99, dp.TTFTP99)
+	}
+	if ks.TTFTP50 >= dp.TTFTP50 {
+		t.Errorf("KunServe P50 %.3fs >= vLLM (DP) %.3fs", ks.TTFTP50, dp.TTFTP50)
+	}
+	// Against the KVCache-centric mechanisms the tail win must be clear;
+	// vLLM (PP) pre-pays the capacity cost statically, so KunServe only
+	// needs to stay comparable on the tail while winning the median.
+	for _, s := range []System{SysInferCept, SysLlumnix} {
+		sr := runs.Find(s)
+		if ks.TTFTP99 >= sr.TTFTP99 {
+			t.Errorf("KunServe P99 %.3fs >= %s %.3fs", ks.TTFTP99, s, sr.TTFTP99)
+		}
+	}
+	if pp := runs.Find(SysVLLMPP); pp != nil {
+		if ks.TTFTP99 > pp.TTFTP99*1.5 {
+			t.Errorf("KunServe P99 %.3fs not comparable to vLLM (PP) %.3fs",
+				ks.TTFTP99, pp.TTFTP99)
+		}
+		if ks.TTFTP50 >= pp.TTFTP50 {
+			t.Errorf("KunServe P50 %.3fs >= vLLM (PP) %.3fs (PP pays pipelining always)",
+				ks.TTFTP50, pp.TTFTP50)
+		}
+	}
+	// The paper's trade-off: KunServe may pay a TPOT premium over
+	// vLLM (DP) for the TTFT win — it must not be catastrophic (< 3x).
+	if ks.TPOTP50 > 3*dp.TPOTP50 {
+		t.Errorf("KunServe TPOT P50 %.1fms > 3x DP %.1fms",
+			ks.TPOTP50*1000, dp.TPOTP50*1000)
+	}
+
+	fig13 := Figure13From(runs)
+	lo, hi := fig13.TailSpeedup()
+	if hi <= 1 {
+		t.Errorf("tail speedup upper bound %.2fx, want > 1x", hi)
+	}
+	t.Logf("tail TTFT speedup: %.1fx - %.1fx", lo, hi)
+	// SLO violations must be non-increasing in the scale factor, and
+	// KunServe's violations at scale 5 must be the lowest.
+	for _, sr := range fig13.Systems {
+		v := fig13.Violations[sr.System]
+		for i := 1; i < len(v); i++ {
+			if v[i] > v[i-1]+1e-9 {
+				t.Errorf("%s: violations increased with scale: %v", sr.System, v)
+				break
+			}
+		}
+	}
+	// Figure 13's claim holds from scale 4 up ("almost eliminates all
+	// violations with a scale larger than 4"); below that KunServe's
+	// deliberate TPOT trade-off costs it. Compare the mean over the
+	// scale >= 4 entries (indices 2+ of scales 2..10).
+	meanTail := func(v []float64) float64 {
+		var s float64
+		for _, x := range v[2:] {
+			s += x
+		}
+		return s / float64(len(v)-2)
+	}
+	ksViol := meanTail(fig13.Violations[SysKunServe])
+	for _, s := range []System{SysVLLMDP, SysInferCept, SysLlumnix} {
+		if ksViol > meanTail(fig13.Violations[s])+0.02 {
+			t.Errorf("KunServe mean violations at scale>=4 (%.3f) worse than %s (%.3f)",
+				ksViol, s, meanTail(fig13.Violations[s]))
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure12(&buf, runs)
+	PrintFigure13(&buf, fig13)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFigure14AblationImproves(t *testing.T) {
+	rows, err := Figure14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]Figure14Row{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	// Dynamic drop delivers the bulk of the tail-latency reduction.
+	dp := byLabel["vLLM (DP)"]
+	drop := byLabel["+Dynamic drop"]
+	if drop.TTFTP99 >= dp.TTFTP99 {
+		t.Errorf("+Dynamic drop P99 %.3f >= vLLM (DP) %.3f", drop.TTFTP99, dp.TTFTP99)
+	}
+	// Lookahead reduces bubbles versus token-count formulation.
+	coord := byLabel["+Coordinated ex."]
+	look := byLabel["+Lookahead"]
+	if look.BubbleRatio > 0 && coord.BubbleRatio > 0 &&
+		look.BubbleRatio >= coord.BubbleRatio {
+		t.Errorf("+Lookahead bubbles %.1f%% >= +Coordinated %.1f%%",
+			look.BubbleRatio*100, coord.BubbleRatio*100)
+	}
+	var buf bytes.Buffer
+	PrintFigure14(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFigure15AccuracyGap(t *testing.T) {
+	r, err := Figure15(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.NoPrefix) == 0 || len(r.WithPrefix) == 0 {
+		t.Fatal("missing panels")
+	}
+	// §5.4: ours <5% deviation; attention-blind much worse.
+	if r.OursMaxDev > 5 {
+		t.Errorf("ours max deviation %.1f%%, paper reports <5%%", r.OursMaxDev)
+	}
+	if r.BlindMaxDev < 2*r.OursMaxDev {
+		t.Errorf("blind max deviation %.1f%% not clearly worse than ours %.1f%%",
+			r.BlindMaxDev, r.OursMaxDev)
+	}
+	var buf bytes.Buffer
+	PrintFigure15(&buf, r)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFigure16RestoreHelps(t *testing.T) {
+	cfg := Quick()
+	cfg.Duration = 80 * sim.Second // two waves at reduced length
+	r, err := Figure16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	ks := r.Rows[2]
+	if ks.Drops == 0 {
+		t.Error("KunServe never dropped in the long run")
+	}
+	if ks.Restores == 0 {
+		t.Error("KunServe never restored")
+	}
+	noRestore := r.Rows[1]
+	if noRestore.Restores != 0 {
+		t.Error("w/o-restore rung restored")
+	}
+	// Restoration reduces P50 latencies versus staying pipelined.
+	if ks.TPOTP50 >= noRestore.TPOTP50 {
+		t.Errorf("restore TPOT P50 %.4f >= no-restore %.4f", ks.TPOTP50, noRestore.TPOTP50)
+	}
+	var buf bytes.Buffer
+	PrintFigure16(&buf, r)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestFigure17KunServeStandsLonger(t *testing.T) {
+	cfg := Quick()
+	r, err := Figure17(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	vllm, ks := r.Rows[0], r.Rows[1]
+	if ks.Drops == 0 {
+		t.Error("KunServe never dropped under the extreme burst")
+	}
+	// KunServe's capacity must exceed vLLM's after drops.
+	if ks.CapacityGB <= vllm.CapacityGB {
+		t.Errorf("KunServe capacity %.0f <= vLLM %.0f", ks.CapacityGB, vllm.CapacityGB)
+	}
+	// KunServe stands at least as long as vLLM before violating (the
+	// paper reports 1.5x longer at testbed scale) and degrades less.
+	if vllm.FirstViolation > 0 && ks.FirstViolation > 0 &&
+		ks.FirstViolation < vllm.FirstViolation {
+		t.Errorf("KunServe violated at %v before vLLM at %v",
+			ks.FirstViolation, vllm.FirstViolation)
+	}
+	// Once the replayed burst exhausts even the dropped-parameter
+	// memory, both systems drown (§5.6); KunServe must never be worse.
+	if ks.WorstMeanTTFT > vllm.WorstMeanTTFT*1.02 {
+		t.Errorf("KunServe worst mean TTFT %.1fs > vLLM %.1fs",
+			ks.WorstMeanTTFT, vllm.WorstMeanTTFT)
+	}
+	var buf bytes.Buffer
+	PrintFigure17(&buf, r)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Model == nil || cfg.GPU == nil || cfg.Instances != 8 {
+		t.Error("defaults")
+	}
+	if cfg.BaseRPS <= 0 {
+		t.Error("derived RPS")
+	}
+	b := ClusterB().withDefaults()
+	if b.Model.Name != "Qwen-2.5-72B" || b.Instances != 2 {
+		t.Error("cluster B")
+	}
+	// Derived RPS scales down for longer datasets.
+	lb := Config{Dataset: workload.LongBenchDataset()}.withDefaults()
+	bg := Config{Dataset: workload.BurstGPTDataset()}.withDefaults()
+	if lb.BaseRPS >= bg.BaseRPS {
+		t.Error("LongBench RPS should be lower than BurstGPT's")
+	}
+}
+
+func TestNewPolicyUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown system did not panic")
+		}
+	}()
+	NewPolicy(System("nope"))
+}

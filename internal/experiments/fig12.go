@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/core"
+	"kunserve/internal/sim"
+)
+
+// SystemRun is one system's outcome on one workload: the shared unit for
+// Figures 12 and 13.
+type SystemRun struct {
+	System   System
+	Finished int
+	Unserved int
+
+	TTFTP50, TTFTP90, TTFTP99, TTFTP999 float64
+	TPOTP50, TPOTP90, TPOTP99, TPOTP999 float64
+	MeanTTFTSeries                      []float64 // Fig 12 col 2
+	ThroughputSeries                    []float64 // Fig 12 col 3 (tokens/s)
+	Throughput                          float64
+
+	// KunServe-only extras.
+	DemandGBSeries []float64 // Fig 12 col 1
+	CapacityGB     float64
+	DropEvents     []core.Event
+
+	// kept for SLO computation.
+	run *runHandle
+}
+
+type runHandle struct {
+	ttfts, tpots []float64
+	outputs      []int
+}
+
+// Figure12Result is one workload's full comparison.
+type Figure12Result struct {
+	Workload string
+	Window   sim.Duration
+	Systems  []SystemRun
+}
+
+// RunAllSystems executes the five systems on one workload; Figure 12 and
+// Figure 13 both consume its output.
+func RunAllSystems(cfg Config) (*Figure12Result, error) {
+	cfg = cfg.withDefaults()
+	tr := cfg.BuildTrace()
+	res := &Figure12Result{
+		Workload: fmt.Sprintf("%s x %s", tr.Name, cfg.Model.Name),
+		Window:   4 * sim.Second,
+	}
+	for _, s := range AllSystems() {
+		if s == SysVLLMPP && cfg.Instances%2 != 0 {
+			continue
+		}
+		cl, err := cfg.Run(s, tr)
+		if err != nil {
+			return nil, err
+		}
+		col := cl.Collector
+		sr := SystemRun{
+			System:           s,
+			Finished:         col.TTFT.Count(),
+			Unserved:         cl.Outstanding(),
+			TTFTP50:          col.TTFT.Percentile(50),
+			TTFTP90:          col.TTFT.Percentile(90),
+			TTFTP99:          col.TTFT.Percentile(99),
+			TTFTP999:         col.TTFT.Percentile(99.9),
+			TPOTP50:          col.TPOT.Percentile(50),
+			TPOTP90:          col.TPOT.Percentile(90),
+			TPOTP99:          col.TPOT.Percentile(99),
+			TPOTP999:         col.TPOT.Percentile(99.9),
+			MeanTTFTSeries:   col.MeanTTFT.MeanPerBin(),
+			ThroughputSeries: col.Tokens.RatePerSecond(),
+			Throughput:       col.ThroughputTokensPerSec(),
+			CapacityGB:       float64(cl.CapacityBytes()) / 1e9,
+		}
+		handle := &runHandle{}
+		for _, rec := range col.Records {
+			handle.ttfts = append(handle.ttfts, rec.TTFT())
+			handle.tpots = append(handle.tpots, rec.TPOT())
+			handle.outputs = append(handle.outputs, rec.OutputTokens)
+		}
+		sr.run = handle
+		for _, v := range col.KVDemand.Values() {
+			sr.DemandGBSeries = append(sr.DemandGBSeries, v/1e9)
+		}
+		if ks, ok := cl.Policy.(*core.Policy); ok {
+			sr.DropEvents = ks.Events()
+		}
+		res.Systems = append(res.Systems, sr)
+	}
+	return res, nil
+}
+
+// Figure12 is RunAllSystems plus the paper's first-column framing.
+func Figure12(cfg Config) (*Figure12Result, error) { return RunAllSystems(cfg) }
+
+// Find returns the run for a system, or nil.
+func (r *Figure12Result) Find(s System) *SystemRun {
+	for i := range r.Systems {
+		if r.Systems[i].System == s {
+			return &r.Systems[i]
+		}
+	}
+	return nil
+}
+
+// PrintFigure12 renders the three panel columns.
+func PrintFigure12(w io.Writer, r *Figure12Result) {
+	printHeader(w, "Figure 12: "+r.Workload)
+	if ks := r.Find(SysKunServe); ks != nil {
+		fmt.Fprintf(w, "[memory] capacity %.0f GB; KunServe demand (GB/%v):\n    %s\n",
+			ks.CapacityGB, r.Window, fseries(ks.DemandGBSeries, 1, "%.0f"))
+		for _, e := range ks.DropEvents {
+			fmt.Fprintf(w, "    %s at %v..%v (groups=%d, %+.1f GB)\n",
+				e.Kind, e.Start, e.End, e.Groups, float64(e.FreedBytes)/1e9)
+		}
+	}
+	fmt.Fprintf(w, "[mean TTFT timeline (s) per %v]\n", r.Window)
+	for _, sr := range r.Systems {
+		fmt.Fprintf(w, "  %-11s %s\n", sr.System, fseries(sr.MeanTTFTSeries, 1, "%.2f"))
+	}
+	fmt.Fprintln(w, "[throughput (K tokens/s)]")
+	for _, sr := range r.Systems {
+		fmt.Fprintf(w, "  %-11s avg %.1f | %s\n", sr.System, sr.Throughput/1000,
+			fseries(sr.ThroughputSeries, 1e-3, "%.1f"))
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Figure13Result adds the SLO-violation panel to the percentile columns.
+type Figure13Result struct {
+	Workload string
+	Systems  []SystemRun
+	// SLOScales are the x-axis scale factors (2..10).
+	SLOScales []float64
+	// Violations[system][i] is the violation ratio at SLOScales[i].
+	Violations map[System][]float64
+	// RefP50TTFT/TPOT are the best-baseline P50s defining the SLO unit.
+	RefP50TTFT float64
+	RefP50TPOT float64
+}
+
+// Figure13 computes the end-to-end latency table and SLO violations. The
+// SLO reference is the best baseline's P50 (§5.2).
+func Figure13(cfg Config) (*Figure13Result, error) {
+	runs, err := RunAllSystems(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Figure13From(runs), nil
+}
+
+// Figure13From derives Figure 13 from an existing RunAllSystems result
+// (sharing runs between Figures 12 and 13, as the paper does).
+func Figure13From(runs *Figure12Result) *Figure13Result {
+	res := &Figure13Result{
+		Workload:   runs.Workload,
+		Systems:    runs.Systems,
+		SLOScales:  []float64{2, 3, 4, 5, 6, 7, 8, 9, 10},
+		Violations: map[System][]float64{},
+	}
+	// Reference: the best (lowest) P50 across all systems.
+	res.RefP50TTFT, res.RefP50TPOT = 1e18, 1e18
+	for _, sr := range runs.Systems {
+		if sr.TTFTP50 > 0 && sr.TTFTP50 < res.RefP50TTFT {
+			res.RefP50TTFT = sr.TTFTP50
+		}
+		if sr.TPOTP50 > 0 && sr.TPOTP50 < res.RefP50TPOT {
+			res.RefP50TPOT = sr.TPOTP50
+		}
+	}
+	for _, sr := range runs.Systems {
+		ratios := make([]float64, len(res.SLOScales))
+		for i, scale := range res.SLOScales {
+			tl := scale * res.RefP50TTFT
+			pl := scale * res.RefP50TPOT
+			viol := 0
+			total := len(sr.run.ttfts) + sr.Unserved
+			for j := range sr.run.ttfts {
+				if sr.run.ttfts[j] > tl || (sr.run.outputs[j] > 1 && sr.run.tpots[j] > pl) {
+					viol++
+				}
+			}
+			// Requests never served by the horizon violate every SLO.
+			viol += sr.Unserved
+			if total > 0 {
+				ratios[i] = float64(viol) / float64(total)
+			}
+		}
+		res.Violations[sr.System] = ratios
+	}
+	return res
+}
+
+// TailSpeedup returns KunServe's P99-TTFT improvement over the worst and
+// best baselines (the "12.7-72.2x" claim).
+func (r *Figure13Result) TailSpeedup() (minX, maxX float64) {
+	ks := findRun(r.Systems, SysKunServe)
+	if ks == nil || ks.TTFTP99 <= 0 {
+		return 0, 0
+	}
+	var ratios []float64
+	for _, sr := range r.Systems {
+		if sr.System == SysKunServe || sr.TTFTP99 <= 0 {
+			continue
+		}
+		ratios = append(ratios, sr.TTFTP99/ks.TTFTP99)
+	}
+	if len(ratios) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(ratios)
+	return ratios[0], ratios[len(ratios)-1]
+}
+
+func findRun(runs []SystemRun, s System) *SystemRun {
+	for i := range runs {
+		if runs[i].System == s {
+			return &runs[i]
+		}
+	}
+	return nil
+}
+
+// PrintFigure13 renders the percentile table and SLO panel.
+func PrintFigure13(w io.Writer, r *Figure13Result) {
+	printHeader(w, "Figure 13: end-to-end latency — "+r.Workload)
+	fmt.Fprintf(w, "%-11s %9s %9s %9s %9s %9s %9s %6s %5s\n", "System",
+		"TTFT50(s)", "TTFT99(s)", "TT999(s)", "TPOT50ms", "TPOT99ms", "TP999ms", "Reqs", "Lost")
+	for _, sr := range r.Systems {
+		fmt.Fprintf(w, "%-11s %9.3f %9.3f %9.3f %9.1f %9.1f %9.1f %6d %5d\n",
+			sr.System, sr.TTFTP50, sr.TTFTP99, sr.TTFTP999,
+			sr.TPOTP50*1000, sr.TPOTP99*1000, sr.TPOTP999*1000,
+			sr.Finished, sr.Unserved)
+	}
+	lo, hi := r.TailSpeedup()
+	fmt.Fprintf(w, "KunServe P99 TTFT speedup over baselines: %.1fx - %.1fx\n", lo, hi)
+	fmt.Fprintf(w, "SLO violations (%%), ref P50 TTFT=%.3fs TPOT=%.1fms, scales %v:\n",
+		r.RefP50TTFT, r.RefP50TPOT*1000, r.SLOScales)
+	for _, sr := range r.Systems {
+		fmt.Fprintf(w, "  %-11s %s\n", sr.System, fseries(r.Violations[sr.System], 100, "%5.1f"))
+	}
+}

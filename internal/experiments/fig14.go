@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/cluster"
+	"kunserve/internal/core"
+	"kunserve/internal/workload"
+)
+
+// Figure14Row is one ablation rung's latency summary.
+type Figure14Row struct {
+	Label string
+
+	TTFTP50, TTFTP90, TTFTP99, TTFTP999 float64
+	TPOTP50, TPOTP90, TPOTP99, TPOTP999 float64
+	// BubbleRatio is the mean GPU idle fraction during pipelined
+	// execution (Figure 14 bottom panel); zero for non-pipelined rungs.
+	BubbleRatio float64
+	Throughput  float64
+	Finished    int
+}
+
+// Figure14 runs the ablation on the LongBench dataset (as in §5.3):
+// vLLM (DP), vLLM (PP), then KunServe with techniques enabled
+// incrementally — dynamic drop, coordinated exchange, lookahead.
+func Figure14(cfg Config) ([]Figure14Row, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dataset.Name == "" || cfg.Dataset.Name == "burstgpt" {
+		cfg.Dataset = workload.LongBenchDataset()
+		cfg.BaseRPS = 0 // re-derive for the dataset
+		cfg = cfg.withDefaults()
+	}
+	tr := cfg.BuildTrace()
+
+	rungs := []struct {
+		label string
+		pol   func() cluster.Policy
+	}{
+		{"vLLM (DP)", func() cluster.Policy { return NewPolicy(SysVLLMDP) }},
+		{"vLLM (PP)", func() cluster.Policy { return NewPolicy(SysVLLMPP) }},
+		// The KunServe rungs disable restoration so the pipelined
+		// configuration (whose bubbles the bottom panel measures)
+		// persists through the measurement window.
+		{"+Dynamic drop", func() cluster.Policy {
+			return core.New(core.Options{
+				DisableCoordinatedExchange: true,
+				UseTokenCountFormer:        true,
+				DisableRestore:             true,
+			})
+		}},
+		{"+Coordinated ex.", func() cluster.Policy {
+			return core.New(core.Options{UseTokenCountFormer: true, DisableRestore: true})
+		}},
+		{"+Lookahead", func() cluster.Policy {
+			return core.New(core.Options{DisableRestore: true})
+		}},
+	}
+	var rows []Figure14Row
+	for _, rung := range rungs {
+		if rung.label == "vLLM (PP)" && cfg.Instances%2 != 0 {
+			continue
+		}
+		cl, err := cfg.RunPolicy(rung.pol(), tr)
+		if err != nil {
+			return nil, err
+		}
+		col := cl.Collector
+		row := Figure14Row{
+			Label:      rung.label,
+			TTFTP50:    col.TTFT.Percentile(50),
+			TTFTP90:    col.TTFT.Percentile(90),
+			TTFTP99:    col.TTFT.Percentile(99),
+			TTFTP999:   col.TTFT.Percentile(99.9),
+			TPOTP50:    col.TPOT.Percentile(50),
+			TPOTP90:    col.TPOT.Percentile(90),
+			TPOTP99:    col.TPOT.Percentile(99),
+			TPOTP999:   col.TPOT.Percentile(99.9),
+			Throughput: col.ThroughputTokensPerSec(),
+			Finished:   col.TTFT.Count(),
+		}
+		// Aggregate bubble ratio over pipelined groups.
+		var ratios []float64
+		for _, g := range cl.Groups() {
+			if g.Stages() > 1 && g.Engine().SpanTime() > 0 {
+				ratios = append(ratios, g.Engine().BubbleRatio())
+			}
+		}
+		for _, r := range ratios {
+			row.BubbleRatio += r / float64(len(ratios))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFigure14 renders the ablation table.
+func PrintFigure14(w io.Writer, rows []Figure14Row) {
+	printHeader(w, "Figure 14: ablation study (LongBench)")
+	fmt.Fprintf(w, "%-17s %8s %8s %8s %8s %8s %8s %8s %7s\n", "Config",
+		"TTFT50", "TTFT90", "TTFT99", "TT999", "TPOT50", "TPOT99", "Bubble%", "Ktok/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-17s %7.3fs %7.3fs %7.3fs %7.3fs %6.1fms %6.1fms %8.1f %7.1f\n",
+			r.Label, r.TTFTP50, r.TTFTP90, r.TTFTP99, r.TTFTP999,
+			r.TPOTP50*1000, r.TPOTP99*1000, r.BubbleRatio*100, r.Throughput/1000)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/cluster"
+	"kunserve/internal/core"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+// Figure16Row summarizes one system over the long run.
+type Figure16Row struct {
+	Label          string
+	TTFTP50        float64
+	TTFTP99        float64
+	TPOTP50        float64
+	TPOTP99        float64
+	MeanTTFTSeries []float64
+	Drops          int
+	Restores       int
+	Events         []core.Event
+	Finished       int
+	Unserved       int
+}
+
+// Figure16Result is the §5.5 long-run restoration study.
+type Figure16Result struct {
+	Window    sim.Duration
+	RPSSeries []float64
+	Rows      []Figure16Row
+}
+
+// Figure16 runs the 640 s BurstGPT trace with two burst waves on vLLM (DP),
+// KunServe without restoration, and full KunServe.
+func Figure16(cfg Config) (*Figure16Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Duration == 128*sim.Second {
+		cfg.Duration = 640 * sim.Second
+	}
+	tr := workload.Generate(cfg.Seed, cfg.Duration,
+		workload.ScaledLongRunSchedule(cfg.BaseRPS, cfg.Duration), cfg.Dataset)
+
+	res := &Figure16Result{
+		Window:    8 * sim.Second,
+		RPSSeries: tr.RPSSeries(8 * sim.Second),
+	}
+	opts := core.Options{}
+	noRestore := opts
+	noRestore.DisableRestore = true
+	rungs := []struct {
+		label string
+		pol   cluster.Policy
+	}{
+		{"vLLM (DP)", NewPolicy(SysVLLMDP)},
+		{"KunServe w/o restore", core.New(noRestore)},
+		{"KunServe", core.New(opts)},
+	}
+	for _, rung := range rungs {
+		cl, err := cfg.RunPolicy(rung.pol, tr)
+		if err != nil {
+			return nil, err
+		}
+		col := cl.Collector
+		row := Figure16Row{
+			Label:          rung.label,
+			TTFTP50:        col.TTFT.Percentile(50),
+			TTFTP99:        col.TTFT.Percentile(99),
+			TPOTP50:        col.TPOT.Percentile(50),
+			TPOTP99:        col.TPOT.Percentile(99),
+			MeanTTFTSeries: col.MeanTTFT.MeanPerBin(),
+			Finished:       col.TTFT.Count(),
+			Unserved:       cl.Outstanding(),
+		}
+		if ks, ok := cl.Policy.(*core.Policy); ok {
+			row.Drops = ks.Drops()
+			row.Restores = ks.Restores()
+			row.Events = ks.Events()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PrintFigure16 renders the long-run study.
+func PrintFigure16(w io.Writer, r *Figure16Result) {
+	printHeader(w, "Figure 16: long-run dynamic restoration (640 s BurstGPT)")
+	fmt.Fprintf(w, "request rate (req/s per %v): %s\n", r.Window, fseries(r.RPSSeries, 1, "%.0f"))
+	fmt.Fprintf(w, "%-22s %9s %9s %9s %9s %6s %8s %6s %5s\n", "System",
+		"TTFT50(s)", "TTFT99(s)", "TPOT50ms", "TPOT99ms", "Drops", "Restores", "Reqs", "Lost")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-22s %9.3f %9.3f %9.1f %9.1f %6d %8d %6d %5d\n",
+			row.Label, row.TTFTP50, row.TTFTP99,
+			row.TPOTP50*1000, row.TPOTP99*1000, row.Drops, row.Restores,
+			row.Finished, row.Unserved)
+	}
+	for _, row := range r.Rows {
+		if len(row.Events) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s reconfigurations:\n", row.Label)
+		for _, e := range row.Events {
+			fmt.Fprintf(w, "  %-8s %v .. %v (groups=%d)\n", e.Kind, e.Start, e.End, e.Groups)
+		}
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "mean TTFT (s) %-22s %s\n", row.Label,
+			fseries(row.MeanTTFTSeries, 1, "%.2f"))
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/core"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+// Figure17Row is one system's outcome under the extreme burst.
+type Figure17Row struct {
+	Label string
+	// FirstViolation is when the mean TTFT first exceeded the SLO
+	// (5 x unloaded P50); zero when it never did.
+	FirstViolation sim.Time
+	// UsageGBSeries is the allocated KV per window.
+	UsageGBSeries []float64
+	// CapacityGB is the final KV capacity (grows with each drop for
+	// KunServe).
+	CapacityGB     float64
+	MeanTTFTSeries []float64
+	Drops          int
+	WorstMeanTTFT  float64
+	Finished       int
+	Unserved       int
+}
+
+// Figure17Result is the §5.6 extreme-burst stress test.
+type Figure17Result struct {
+	Window sim.Duration
+	SLO    float64
+	Rows   []Figure17Row
+	// StandingRatio is KunServe's first-violation time over vLLM's: the
+	// paper reports 1.5x longer standing time.
+	StandingRatio float64
+}
+
+// Figure17 replays the burst window repeatedly until both systems run out
+// of memory, comparing vLLM (DP) against KunServe.
+func Figure17(cfg Config) (*Figure17Result, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.BuildTrace()
+	// Replay the burst window several times so the load never relaxes.
+	burstStart := sim.FromSeconds(45.0 / 128 * cfg.Duration.Seconds())
+	burstEnd := sim.FromSeconds(75.0 / 128 * cfg.Duration.Seconds())
+	tr := workload.RepeatBurst(base, burstStart, burstEnd, 4)
+
+	res := &Figure17Result{Window: 4 * sim.Second}
+	for _, s := range []System{SysVLLMDP, SysKunServe} {
+		cl, err := cfg.Run(s, tr)
+		if err != nil {
+			return nil, err
+		}
+		col := cl.Collector
+		row := Figure17Row{
+			Label:      string(s),
+			CapacityGB: float64(cl.CapacityBytes()) / 1e9,
+			Finished:   col.TTFT.Count(),
+			Unserved:   cl.Outstanding(),
+		}
+		row.MeanTTFTSeries = col.MeanTTFT.MeanPerBin()
+		for _, v := range col.KVDemand.Values() {
+			row.UsageGBSeries = append(row.UsageGBSeries, v/1e9)
+		}
+		if ks, ok := cl.Policy.(*core.Policy); ok {
+			row.Drops = ks.Drops()
+			// Report the peak capacity reached while dropped (a
+			// post-drain restore shrinks it back). Each event's
+			// FreedBytes is the capacity delta it applied, so the
+			// peak is the base plus the best prefix sum.
+			var delta, best float64
+			for _, e := range ks.Events() {
+				delta += float64(e.FreedBytes)
+				if delta > best {
+					best = delta
+				}
+			}
+			base := float64(cl.CapacityBytes()) - delta
+			row.CapacityGB = (base + best) / 1e9
+		}
+		// SLO: 5x the unloaded TTFT — the smallest positive window
+		// mean of the first (vLLM) run, before the burst ramps.
+		if res.SLO == 0 {
+			base := 0.0
+			for _, v := range row.MeanTTFTSeries {
+				if v > 0 && (base == 0 || v < base) {
+					base = v
+				}
+			}
+			if base <= 0 {
+				base = 0.1
+			}
+			res.SLO = 5 * base
+		}
+		for i, v := range row.MeanTTFTSeries {
+			if v > row.WorstMeanTTFT {
+				row.WorstMeanTTFT = v
+			}
+			if row.FirstViolation == 0 && v > res.SLO {
+				row.FirstViolation = sim.Time(i) * sim.Time(res.Window)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(res.Rows) == 2 && res.Rows[0].FirstViolation > 0 && res.Rows[1].FirstViolation > 0 {
+		res.StandingRatio = res.Rows[1].FirstViolation.Seconds() /
+			res.Rows[0].FirstViolation.Seconds()
+	}
+	return res, nil
+}
+
+// PrintFigure17 renders the stress test.
+func PrintFigure17(w io.Writer, r *Figure17Result) {
+	printHeader(w, "Figure 17: extreme bursts (replay-and-rescale)")
+	fmt.Fprintf(w, "SLO (5x unloaded P50): %.2fs\n", r.SLO)
+	for _, row := range r.Rows {
+		viol := "never"
+		if row.FirstViolation > 0 {
+			viol = row.FirstViolation.String()
+		}
+		fmt.Fprintf(w, "%-10s capacity %.0f GB, drops %d, first SLO violation %s, worst mean TTFT %.1fs\n",
+			row.Label, row.CapacityGB, row.Drops, viol, row.WorstMeanTTFT)
+		fmt.Fprintf(w, "  KV demand (GB): %s\n", fseries(row.UsageGBSeries, 1, "%.0f"))
+		fmt.Fprintf(w, "  mean TTFT (s):  %s\n", fseries(row.MeanTTFTSeries, 1, "%.2f"))
+	}
+	if r.StandingRatio > 0 {
+		fmt.Fprintf(w, "KunServe stands %.1fx longer before violating the SLO\n", r.StandingRatio)
+	}
+}

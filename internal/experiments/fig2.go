@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/sim"
+)
+
+// Figure2Result reproduces Figure 2: the BurstGPT arrival pattern, the
+// KVCache memory demand against capacity, and the mean-TTFT timelines of
+// the three KVCache-centric mechanisms (drop = vLLM recompute, swap =
+// InferCept, migrate = Llumnix) under the same overloading burst.
+type Figure2Result struct {
+	Window sim.Duration
+	// RPS is the panel (a) arrival-rate series.
+	RPS []float64
+	// DemandGB and CapacityGB are panel (b): peak KV demand per window vs
+	// the provisioned capacity (on the vLLM (DP) run, as in the paper).
+	DemandGB    []float64
+	CapacityGB  float64
+	AvgUsagePct float64
+	// MeanTTFT maps mechanism name to the panels (c)-(e) series, seconds.
+	MeanTTFT map[string][]float64
+	// PeakOverP50 maps mechanism to its worst mean-TTFT spike relative to
+	// the P50 TTFT (the "up to 239x" style numbers).
+	PeakOverP50 map[string]float64
+}
+
+// Figure2 runs the three mechanisms on the same burst.
+func Figure2(cfg Config) (*Figure2Result, error) {
+	cfg = cfg.withDefaults()
+	tr := cfg.BuildTrace()
+	res := &Figure2Result{
+		Window:      4 * sim.Second,
+		RPS:         tr.RPSSeries(4 * sim.Second),
+		MeanTTFT:    map[string][]float64{},
+		PeakOverP50: map[string]float64{},
+	}
+	mechanisms := []struct {
+		label string
+		sys   System
+	}{
+		{"Drop KVCache", SysVLLMDP},
+		{"Swap KVCache", SysInferCept},
+		{"Migrate KVCache", SysLlumnix},
+	}
+	for i, m := range mechanisms {
+		cl, err := cfg.Run(m.sys, tr)
+		if err != nil {
+			return nil, err
+		}
+		col := cl.Collector
+		res.MeanTTFT[m.label] = col.MeanTTFT.MeanPerBin()
+		p50 := col.TTFT.Percentile(50)
+		peak := 0.0
+		for _, v := range col.MeanTTFT.MeanPerBin() {
+			if v > peak {
+				peak = v
+			}
+		}
+		if p50 > 0 {
+			res.PeakOverP50[m.label] = peak / p50
+		}
+		if i == 0 {
+			res.CapacityGB = float64(cl.CapacityBytes()) / 1e9
+			var sum float64
+			vals := col.KVDemand.Values()
+			for _, v := range vals {
+				res.DemandGB = append(res.DemandGB, v/1e9)
+				sum += v
+			}
+			if len(vals) > 0 && res.CapacityGB > 0 {
+				res.AvgUsagePct = sum / float64(len(vals)) / 1e9 / res.CapacityGB * 100
+			}
+		}
+	}
+	return res, nil
+}
+
+// PrintFigure2 renders the result.
+func PrintFigure2(w io.Writer, r *Figure2Result) {
+	printHeader(w, "Figure 2: TTFT spikes caused by memory overloading")
+	fmt.Fprintf(w, "(a) request rate (req/s per %v window):\n    %s\n",
+		r.Window, fseries(r.RPS, 1, "%.0f"))
+	fmt.Fprintf(w, "(b) KV demand (GB), capacity %.0f GB, avg usage %.1f%%:\n    %s\n",
+		r.CapacityGB, r.AvgUsagePct, fseries(r.DemandGB, 1, "%.0f"))
+	for _, label := range []string{"Drop KVCache", "Swap KVCache", "Migrate KVCache"} {
+		fmt.Fprintf(w, "(%s) mean TTFT (s): %s\n    peak/P50 = %.0fx\n",
+			label, fseries(r.MeanTTFT[label], 1, "%.2f"), r.PeakOverP50[label])
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/baselines"
+	"kunserve/internal/cluster"
+)
+
+// Figure5Row is one CDF summary of Figure 5: serving latency under a given
+// static parameter-drop degree on 8 GPUs.
+type Figure5Row struct {
+	Label    string
+	DropPct  float64
+	Stages   int
+	TTFTP50  float64
+	TTFTP99  float64
+	TPOTP50  float64
+	TPOTP99  float64
+	Finished int
+}
+
+// Figure5 compares DP (full copies) with statically dropping 50%, 75% and
+// 88% of layers (pipeline widths 2, 4, 8) on the BurstGPT workload — the
+// motivation for minimizing pipeline depth in the drop planner.
+func Figure5(cfg Config) ([]Figure5Row, error) {
+	cfg = cfg.withDefaults()
+	tr := cfg.BuildTrace()
+	type setup struct {
+		label   string
+		dropPct float64
+		width   int
+	}
+	setups := []setup{
+		{"DP x %d (full)", 0, 1},
+		{"Drop 50%% layers", 50, 2},
+		{"Drop 75%% layers", 75, 4},
+		{"Drop 88%% layers", 88, 8},
+	}
+	var rows []Figure5Row
+	for _, s := range setups {
+		if s.width > cfg.Instances {
+			continue
+		}
+		var pol cluster.Policy
+		if s.width == 1 {
+			pol = baselines.VLLMDP{}
+		} else {
+			pol = baselines.StaticPP{Width: s.width}
+		}
+		cl, err := cfg.RunPolicy(pol, tr)
+		if err != nil {
+			return nil, err
+		}
+		col := cl.Collector
+		label := s.label
+		if s.width == 1 {
+			label = fmt.Sprintf(s.label, cfg.Instances)
+		}
+		rows = append(rows, Figure5Row{
+			Label:    label,
+			DropPct:  s.dropPct,
+			Stages:   s.width,
+			TTFTP50:  col.TTFT.Percentile(50),
+			TTFTP99:  col.TTFT.Percentile(99),
+			TPOTP50:  col.TPOT.Percentile(50),
+			TPOTP99:  col.TPOT.Percentile(99),
+			Finished: col.TTFT.Count(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure5 renders the comparison.
+func PrintFigure5(w io.Writer, rows []Figure5Row) {
+	printHeader(w, "Figure 5: latency vs parameter-drop degree (static pipelines)")
+	fmt.Fprintf(w, "%-18s %7s %11s %11s %12s %12s %6s\n",
+		"Setup", "Stages", "TTFT P50(s)", "TTFT P99(s)", "TPOT P50(ms)", "TPOT P99(ms)", "Reqs")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %7d %11.3f %11.3f %12.1f %12.1f %6d\n",
+			r.Label, r.Stages, r.TTFTP50, r.TTFTP99,
+			r.TPOTP50*1000, r.TPOTP99*1000, r.Finished)
+	}
+	fmt.Fprintln(w, "takeaway: the more parameters dropped (deeper pipelines), the higher the latency")
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/model"
+)
+
+// Table1Row is one row of Table 1: a model, its per-instance parameter
+// memory, GPU count, and the parameter share of instance HBM.
+type Table1Row struct {
+	Model      string
+	SizeGB     float64
+	GPUs       int
+	RatioPct   float64
+	KVPerToken int64
+}
+
+// Table1 recomputes the paper's Table 1 from the model zoo on 80 GB GPUs.
+func Table1() []Table1Row {
+	const hbm = 80 * model.GiB
+	var rows []Table1Row
+	for _, cfg := range model.Table1() {
+		rows = append(rows, Table1Row{
+			Model:      cfg.Name,
+			SizeGB:     float64(cfg.ParamBytes()) / float64(model.GiB),
+			GPUs:       cfg.GPUsPerInstance,
+			RatioPct:   cfg.ParamMemoryRatio(hbm) * 100,
+			KVPerToken: cfg.KVBytesPerToken(),
+		})
+	}
+	return rows
+}
+
+// PrintTable1 renders the table.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	printHeader(w, "Table 1: parameter memory usage per serving instance")
+	fmt.Fprintf(w, "%-20s %10s %6s %9s %12s\n",
+		"Model", "Size (GB)", "#GPU", "Ratio(%)", "KV B/token")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %10.0f %6d %9.1f %12d\n",
+			r.Model, r.SizeGB, r.GPUs, r.RatioPct, r.KVPerToken)
+	}
+}

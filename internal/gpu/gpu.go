@@ -1,0 +1,180 @@
+// Package gpu models the GPUs of the paper's two testbeds (Table 2) and
+// provides the ground-truth kernel-timing model the simulation uses as
+// "actual" execution time. The timing model intentionally contains terms the
+// paper's Eq. 1 cost model omits (per-request launch overhead, KV-read
+// bandwidth for decode, a weight-load floor) so that fitting Eq. 1 against it
+// is a genuine approximation, reproducing the Figure 15 accuracy experiment.
+package gpu
+
+import (
+	"fmt"
+
+	"kunserve/internal/model"
+	"kunserve/internal/sim"
+)
+
+// Spec describes one GPU SKU.
+type Spec struct {
+	Name string
+	// HBMBytes is the device memory capacity.
+	HBMBytes int64
+	// PeakFLOPS is dense BF16 throughput in FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is HBM bandwidth in bytes/s.
+	MemBandwidth float64
+	// PCIeBandwidth is host link bandwidth in bytes/s (swap path).
+	PCIeBandwidth float64
+	// ComputeEff and MemEff derate peaks to achievable utilization.
+	ComputeEff float64
+	MemEff     float64
+	// KernelLaunch is the fixed per-layer launch overhead.
+	KernelLaunch sim.Duration
+}
+
+// A800 returns the Cluster A GPU (Table 2): A800 80 GB, PCIe Gen4 host link.
+func A800() *Spec {
+	return &Spec{
+		Name:          "A800-80GB",
+		HBMBytes:      80 * model.GiB,
+		PeakFLOPS:     312e12,
+		MemBandwidth:  1.935e12,
+		PCIeBandwidth: 32e9,
+		ComputeEff:    0.85,
+		MemEff:        0.85,
+		KernelLaunch:  4 * sim.Microsecond,
+	}
+}
+
+// H800 returns the Cluster B GPU (Table 2): H800 80 GB with NVLink.
+func H800() *Spec {
+	return &Spec{
+		Name:          "H800-80GB",
+		HBMBytes:      80 * model.GiB,
+		PeakFLOPS:     989e12,
+		MemBandwidth:  3.35e12,
+		PCIeBandwidth: 64e9,
+		ComputeEff:    0.80,
+		MemEff:        0.82,
+		KernelLaunch:  4 * sim.Microsecond,
+	}
+}
+
+// Validate reports nonsensical specs.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("gpu: empty name")
+	case s.HBMBytes <= 0:
+		return fmt.Errorf("gpu %s: HBMBytes = %d", s.Name, s.HBMBytes)
+	case s.PeakFLOPS <= 0 || s.MemBandwidth <= 0 || s.PCIeBandwidth <= 0:
+		return fmt.Errorf("gpu %s: non-positive throughput", s.Name)
+	case s.ComputeEff <= 0 || s.ComputeEff > 1 || s.MemEff <= 0 || s.MemEff > 1:
+		return fmt.Errorf("gpu %s: efficiency out of (0,1]", s.Name)
+	}
+	return nil
+}
+
+// ChunkWork describes one request-chunk inside a microbatch: ChunkLen new
+// query tokens attending to PrefixLen already-cached tokens. A decode step is
+// the special case ChunkLen == 1 with PrefixLen = context so far.
+type ChunkWork struct {
+	PrefixLen int
+	ChunkLen  int
+}
+
+// Timer computes ground-truth execution durations for microbatches of a
+// (possibly partial) model on a tensor-parallel group of identical GPUs.
+type Timer struct {
+	spec *Spec
+	cfg  *model.Config
+	// tpDegree is the number of GPUs sharing each layer's work; compute
+	// and bandwidth scale with it (intra-server NVLink assumed fast
+	// enough that TP overhead folds into the efficiency factors).
+	tpDegree int
+}
+
+// NewTimer builds a timer for cfg running on tpDegree GPUs of the given
+// spec.
+func NewTimer(spec *Spec, cfg *model.Config, tpDegree int) *Timer {
+	if tpDegree <= 0 {
+		panic(fmt.Sprintf("gpu: tpDegree = %d", tpDegree))
+	}
+	return &Timer{spec: spec, cfg: cfg, tpDegree: tpDegree}
+}
+
+// Spec returns the underlying GPU spec.
+func (t *Timer) Spec() *Spec { return t.spec }
+
+// Config returns the model (or partial model) being timed.
+func (t *Timer) Config() *model.Config { return t.cfg }
+
+func (t *Timer) flops() float64 {
+	return t.spec.PeakFLOPS * t.spec.ComputeEff * float64(t.tpDegree)
+}
+
+func (t *Timer) membw() float64 {
+	return t.spec.MemBandwidth * t.spec.MemEff * float64(t.tpDegree)
+}
+
+// MicrobatchTime returns the ground-truth execution time of one microbatch.
+//
+// The model is roofline-style per component:
+//   - linear layers: compute-bound in total new tokens, with a weight-load
+//     floor (reading every parameter once per microbatch) that dominates at
+//     small batch sizes — this is the λ amortization Eq. 3 captures;
+//   - attention: compute for (prefix x chunk + chunk^2/2) scores plus
+//     KV-read bandwidth for the prefix (dominant for decode);
+//   - fixed per-layer kernel launches and a small per-chunk scheduling
+//     overhead that Eq. 1 folds into γ.
+func (t *Timer) MicrobatchTime(chunks []ChunkWork) sim.Duration {
+	if len(chunks) == 0 {
+		return 0
+	}
+	totalNew := 0
+	var attnFlops, kvReadBytes float64
+	for _, c := range chunks {
+		if c.ChunkLen <= 0 {
+			panic(fmt.Sprintf("gpu: ChunkLen = %d", c.ChunkLen))
+		}
+		totalNew += c.ChunkLen
+		attnFlops += t.cfg.AttnFlopsForChunk(c.PrefixLen, c.ChunkLen)
+		// The kernel streams the prefix KV (and the chunk's own KV)
+		// once per chunk.
+		kvReadBytes += float64(t.cfg.KVBytesPerToken()) * float64(c.PrefixLen+c.ChunkLen)
+	}
+
+	linearFlops := t.cfg.LinearFlopsPerToken() * float64(totalNew)
+	linearCompute := linearFlops / t.flops()
+	weightLoad := float64(t.cfg.ParamBytes()) / t.membw()
+	linear := linearCompute
+	if weightLoad > linear {
+		linear = weightLoad
+	}
+
+	attnCompute := attnFlops / t.flops()
+	kvRead := kvReadBytes / t.membw()
+	attn := attnCompute
+	if kvRead > attn {
+		attn = kvRead
+	}
+
+	overhead := sim.Duration(t.cfg.Layers)*t.spec.KernelLaunch +
+		sim.Duration(len(chunks))*2*sim.Microsecond
+
+	return sim.DurationFromSeconds(linear+attn) + overhead
+}
+
+// PrefillTime is a convenience for a single chunk with no batching.
+func (t *Timer) PrefillTime(prefixLen, chunkLen int) sim.Duration {
+	return t.MicrobatchTime([]ChunkWork{{PrefixLen: prefixLen, ChunkLen: chunkLen}})
+}
+
+// DecodeTime returns the time of one decode iteration over requests with the
+// given context lengths.
+func (t *Timer) DecodeTime(contextLens []int) sim.Duration {
+	chunks := make([]ChunkWork, len(contextLens))
+	for i, n := range contextLens {
+		chunks[i] = ChunkWork{PrefixLen: n, ChunkLen: 1}
+	}
+	return t.MicrobatchTime(chunks)
+}

@@ -1,0 +1,193 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kunserve/internal/model"
+	"kunserve/internal/sim"
+)
+
+func timer14B() *Timer { return NewTimer(A800(), model.Qwen25_14B(), 1) }
+
+func TestSpecsValidate(t *testing.T) {
+	for _, s := range []*Spec{A800(), H800()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.HBMBytes = 0 },
+		func(s *Spec) { s.PeakFLOPS = 0 },
+		func(s *Spec) { s.MemBandwidth = -1 },
+		func(s *Spec) { s.PCIeBandwidth = 0 },
+		func(s *Spec) { s.ComputeEff = 0 },
+		func(s *Spec) { s.ComputeEff = 1.5 },
+		func(s *Spec) { s.MemEff = 0 },
+	}
+	for i, mutate := range mutations {
+		s := A800()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+// Sanity-check absolute magnitudes against the paper's reported typical
+// times: "221ms for prefill and 60ms for decode" on Qwen-2.5-14B/A800
+// (§5.3). We only require the right order of magnitude.
+func TestPrefillTimeMagnitude(t *testing.T) {
+	tm := timer14B()
+	d := tm.PrefillTime(0, 1024)
+	if d < 50*sim.Millisecond || d > 800*sim.Millisecond {
+		t.Errorf("1K-token prefill = %v, want O(100ms)", d)
+	}
+}
+
+func TestDecodeTimeMagnitude(t *testing.T) {
+	tm := timer14B()
+	ctx := make([]int, 64)
+	for i := range ctx {
+		ctx[i] = 1024
+	}
+	d := tm.DecodeTime(ctx)
+	if d < 10*sim.Millisecond || d > 300*sim.Millisecond {
+		t.Errorf("64-way decode = %v, want O(10-100ms)", d)
+	}
+}
+
+// Decode is memory-bound: a small decode batch should be dominated by the
+// weight-load floor, so doubling the batch size should much less than double
+// the time (the λ amortization effect the paper's Eq. 3 models).
+func TestWeightLoadAmortization(t *testing.T) {
+	tm := timer14B()
+	one := tm.DecodeTime([]int{512})
+	two := tm.DecodeTime([]int{512, 512})
+	if ratio := float64(two) / float64(one); ratio > 1.2 {
+		t.Errorf("2-req decode / 1-req decode = %.2f, want ~1 (weight-load bound)", ratio)
+	}
+}
+
+// Prefill at large chunk sizes is compute-bound: doubling tokens should
+// roughly double the time.
+func TestPrefillComputeBound(t *testing.T) {
+	tm := timer14B()
+	a := tm.PrefillTime(0, 4096)
+	b := tm.PrefillTime(0, 8192)
+	if ratio := float64(b) / float64(a); ratio < 1.8 || ratio > 2.6 {
+		t.Errorf("8K/4K prefill ratio = %.2f, want ~2-2.4 (quadratic attn adds)", ratio)
+	}
+}
+
+// A chunk with a long prefix must cost more than the same chunk without one
+// (the latter-chunk effect from Figure 9).
+func TestPrefixMakesChunksSlower(t *testing.T) {
+	tm := timer14B()
+	without := tm.PrefillTime(0, 2048)
+	with := tm.PrefillTime(4096, 2048)
+	if with <= without {
+		t.Errorf("prefix chunk %v <= no-prefix chunk %v", with, without)
+	}
+}
+
+func TestPartialModelIsFaster(t *testing.T) {
+	full := timer14B()
+	cfg := model.Qwen25_14B()
+	half := NewTimer(A800(), cfg.Partial(cfg.Layers/2), 1)
+	f := full.PrefillTime(0, 2048)
+	h := half.PrefillTime(0, 2048)
+	if h >= f {
+		t.Errorf("half-model prefill %v >= full %v", h, f)
+	}
+	// Roughly half, modulo fixed overheads.
+	if ratio := float64(h) / float64(f); ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("half/full = %.2f, want ~0.5", ratio)
+	}
+}
+
+func TestTensorParallelSpeedsUp(t *testing.T) {
+	cfg := model.Qwen25_72B()
+	tp1 := NewTimer(H800(), cfg, 1)
+	tp4 := NewTimer(H800(), cfg, 4)
+	a, b := tp1.PrefillTime(0, 2048), tp4.PrefillTime(0, 2048)
+	if b >= a {
+		t.Errorf("TP4 %v >= TP1 %v", b, a)
+	}
+}
+
+func TestEmptyMicrobatchIsFree(t *testing.T) {
+	if d := timer14B().MicrobatchTime(nil); d != 0 {
+		t.Errorf("empty microbatch = %v", d)
+	}
+}
+
+func TestZeroChunkLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ChunkLen=0 did not panic")
+		}
+	}()
+	timer14B().MicrobatchTime([]ChunkWork{{PrefixLen: 10, ChunkLen: 0}})
+}
+
+func TestBadTPDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tpDegree=0 did not panic")
+		}
+	}()
+	NewTimer(A800(), model.Qwen25_14B(), 0)
+}
+
+func TestAccessors(t *testing.T) {
+	tm := timer14B()
+	if tm.Spec().Name != "A800-80GB" {
+		t.Error("Spec accessor")
+	}
+	if tm.Config().Name != "Qwen-2.5-14B" {
+		t.Error("Config accessor")
+	}
+}
+
+// Property: microbatch time is monotone under adding chunks.
+func TestPropertyMonotoneInChunks(t *testing.T) {
+	tm := timer14B()
+	f := func(lens []uint16) bool {
+		var chunks []ChunkWork
+		prev := sim.Duration(0)
+		for _, l := range lens {
+			chunks = append(chunks, ChunkWork{PrefixLen: int(l) % 2048, ChunkLen: 1 + int(l)%512})
+			d := tm.MicrobatchTime(chunks)
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time is monotone in prefix length for a fixed chunk.
+func TestPropertyMonotoneInPrefix(t *testing.T) {
+	tm := timer14B()
+	f := func(p1, p2 uint16) bool {
+		a, b := int(p1), int(p2)
+		if a > b {
+			a, b = b, a
+		}
+		ta := tm.PrefillTime(a, 256)
+		tb := tm.PrefillTime(b, 256)
+		return ta <= tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package instance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kunserve/internal/gpu"
+	"kunserve/internal/memory"
+	"kunserve/internal/model"
+)
+
+func newInst(t *testing.T) *Instance {
+	t.Helper()
+	in, err := New(0, gpu.A800(), model.Qwen25_14B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInstanceLayout(t *testing.T) {
+	in := newInst(t)
+	if !in.HoldsFullCopy() || in.LayersHeld() != 48 {
+		t.Fatal("fresh instance layer accounting")
+	}
+	// §2.2: ~45 GB of KVCache per GPU for the 14B model on 80 GB.
+	kvGB := float64(in.KVBytes()) / float64(model.GiB)
+	if kvGB < 40 || kvGB > 50 {
+		t.Errorf("KV region = %.1f GB, want ~45", kvGB)
+	}
+	if err := in.Mem.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelTooBigRejected(t *testing.T) {
+	cfg := model.Qwen25_72B()
+	cfg.GPUsPerInstance = 1 // 136 GB params on one 80 GB GPU
+	if _, err := New(0, gpu.A800(), cfg); err == nil {
+		t.Fatal("oversized model accepted")
+	}
+}
+
+func TestInvalidConfigsRejected(t *testing.T) {
+	bad := model.Qwen25_14B()
+	bad.Layers = 0
+	if _, err := New(0, gpu.A800(), bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+	badSpec := gpu.A800()
+	badSpec.HBMBytes = 0
+	if _, err := New(0, badSpec, model.Qwen25_14B()); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestMultiGPUInstanceAggregatesHBM(t *testing.T) {
+	in, err := New(0, gpu.H800(), model.Qwen25_72B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 x 80 GB - 10% reserve - 136 GB params ≈ 152 GB KV.
+	kvGB := float64(in.KVBytes()) / float64(model.GiB)
+	if kvGB < 140 || kvGB > 165 {
+		t.Errorf("72B KV region = %.1f GB", kvGB)
+	}
+}
+
+func TestDropLayersGrowsKV(t *testing.T) {
+	in := newInst(t)
+	kvBefore := in.KVBytes()
+	capBefore := in.KVTokenCapacity(in.Model.Layers)
+	d, err := in.DropLayers(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("drop latency missing")
+	}
+	if in.LayersHeld() != 24 || in.HoldsFullCopy() {
+		t.Fatal("layer accounting after drop")
+	}
+	freed := in.Model.ParamBytesPerLayer() * 24
+	growth := in.KVBytes() - kvBefore
+	if growth < freed-int64(memory.ChunkSize) || growth > freed+int64(memory.ChunkSize) {
+		t.Errorf("KV grew %d, want ~%d", growth, freed)
+	}
+	// Serving only 24 layers per token, capacity per token halves and the
+	// region grew: capacity (in tokens at 24-layer share) must exceed 2x
+	// the old full-model capacity.
+	capAfter := in.KVTokenCapacity(in.LayersHeld())
+	if capAfter <= 2*capBefore {
+		t.Errorf("token capacity %d -> %d, want > 2x", capBefore, capAfter)
+	}
+	if err := in.Mem.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreLayersRoundTrip(t *testing.T) {
+	in := newInst(t)
+	paramsBefore := in.ParamBytes()
+	if _, err := in.DropLayers(24); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RestoreLayers(24); err != nil {
+		t.Fatal(err)
+	}
+	if !in.HoldsFullCopy() {
+		t.Fatal("restore did not return to full copy")
+	}
+	if in.ParamBytes() != paramsBefore {
+		t.Errorf("params = %d, want %d", in.ParamBytes(), paramsBefore)
+	}
+}
+
+func TestDropRestoreErrors(t *testing.T) {
+	in := newInst(t)
+	if _, err := in.DropLayers(0); err == nil {
+		t.Error("drop 0 accepted")
+	}
+	if _, err := in.DropLayers(-1); err == nil {
+		t.Error("drop -1 accepted")
+	}
+	if _, err := in.DropLayers(49); err == nil {
+		t.Error("drop beyond held accepted")
+	}
+	if _, err := in.RestoreLayers(1); err == nil {
+		t.Error("restore beyond full accepted")
+	}
+	if _, err := in.RestoreLayers(0); err == nil {
+		t.Error("restore 0 accepted")
+	}
+}
+
+func TestPartialConfigAndTimer(t *testing.T) {
+	in := newInst(t)
+	if in.PartialConfig() != in.Model {
+		t.Error("full copy should return the model itself")
+	}
+	fullTime := in.Timer().PrefillTime(0, 1024)
+	if _, err := in.DropLayers(24); err != nil {
+		t.Fatal(err)
+	}
+	pc := in.PartialConfig()
+	if pc.Layers != 24 {
+		t.Fatalf("partial layers = %d", pc.Layers)
+	}
+	halfTime := in.Timer().PrefillTime(0, 1024)
+	if halfTime >= fullTime {
+		t.Error("half-model stage not faster")
+	}
+}
+
+func TestKVTokenCapacityPanicsOnBadLayers(t *testing.T) {
+	in := newInst(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("KVTokenCapacity(0) did not panic")
+		}
+	}()
+	in.KVTokenCapacity(0)
+}
+
+func TestLayerTransferBytes(t *testing.T) {
+	in := newInst(t)
+	if got := in.LayerTransferBytes(24); got != in.Model.ParamBytesPerLayer()*24 {
+		t.Errorf("transfer bytes = %d", got)
+	}
+}
+
+// Property: any drop/restore sequence preserves memory invariants and layer
+// bounds.
+func TestPropertyDropRestore(t *testing.T) {
+	f := func(ops []int8) bool {
+		in, err := New(0, gpu.A800(), model.Qwen25_14B())
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			n := int(op)
+			if n > 0 {
+				in.DropLayers(n)
+			} else if n < 0 {
+				in.RestoreLayers(-n)
+			}
+			if in.LayersHeld() < 0 || in.LayersHeld() > in.Model.Layers {
+				return false
+			}
+			if err := in.Mem.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package kvcache implements a vLLM-style paged KVCache block manager.
+//
+// GPU KVCache memory is carved into fixed-size blocks of blockTokens tokens
+// (the evaluation uses 64, the block size the paper tunes vLLM to). Each
+// request owns a sequence whose blocks are allocated on demand as tokens are
+// appended; internal fragmentation (the partially filled last block) is
+// captured by ceiling division exactly as in real paged attention. Sequences
+// can be swapped out (blocks released on GPU, token state retained for the
+// host copy) to support the InferCept baseline, and pools can grow or shrink
+// at runtime to support §4.1 parameter-drop memory extension.
+package kvcache
+
+import "fmt"
+
+// Pool manages the block inventory of one serving instance (or one pipeline
+// stage's share after a drop).
+type Pool struct {
+	blockTokens int
+	totalBlocks int
+	freeBlocks  int
+	seqs        int // live sequences, for leak checks
+}
+
+// NewPool creates a pool of totalBlocks blocks of blockTokens tokens each.
+func NewPool(totalBlocks, blockTokens int) *Pool {
+	if totalBlocks < 0 || blockTokens <= 0 {
+		panic(fmt.Sprintf("kvcache: pool %d x %d", totalBlocks, blockTokens))
+	}
+	return &Pool{
+		blockTokens: blockTokens,
+		totalBlocks: totalBlocks,
+		freeBlocks:  totalBlocks,
+	}
+}
+
+// BlockTokens returns tokens per block.
+func (p *Pool) BlockTokens() int { return p.blockTokens }
+
+// TotalBlocks returns the pool capacity in blocks.
+func (p *Pool) TotalBlocks() int { return p.totalBlocks }
+
+// FreeBlocks returns unallocated blocks.
+func (p *Pool) FreeBlocks() int { return p.freeBlocks }
+
+// UsedBlocks returns allocated blocks.
+func (p *Pool) UsedBlocks() int { return p.totalBlocks - p.freeBlocks }
+
+// Utilization returns the allocated fraction in [0,1]; 0 for empty pools.
+func (p *Pool) Utilization() float64 {
+	if p.totalBlocks == 0 {
+		return 0
+	}
+	return float64(p.UsedBlocks()) / float64(p.totalBlocks)
+}
+
+// LiveSequences returns the number of unfreed sequences.
+func (p *Pool) LiveSequences() int { return p.seqs }
+
+// BlocksForTokens returns the blocks needed to hold n tokens.
+func (p *Pool) BlocksForTokens(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.blockTokens - 1) / p.blockTokens
+}
+
+// CanFit reports whether n tokens could be allocated right now.
+func (p *Pool) CanFit(n int) bool {
+	return p.BlocksForTokens(n) <= p.freeBlocks
+}
+
+// AddBlocks grows the pool (parameter drop freed memory).
+func (p *Pool) AddBlocks(n int) {
+	if n < 0 {
+		panic("kvcache: AddBlocks negative")
+	}
+	p.totalBlocks += n
+	p.freeBlocks += n
+}
+
+// RemoveBlocks shrinks the pool by n blocks, which must be free (restore
+// reclaims only unused tail memory).
+func (p *Pool) RemoveBlocks(n int) error {
+	if n < 0 {
+		return fmt.Errorf("kvcache: RemoveBlocks(%d)", n)
+	}
+	if n > p.freeBlocks {
+		return fmt.Errorf("kvcache: remove %d blocks, only %d free", n, p.freeBlocks)
+	}
+	p.totalBlocks -= n
+	p.freeBlocks -= n
+	return nil
+}
+
+// Seq is one request's KVCache allocation.
+type Seq struct {
+	pool     *Pool
+	tokens   int
+	blocks   int
+	swapped  bool
+	released bool
+}
+
+// NewSeq allocates a sequence holding tokens tokens. It returns an error
+// when the pool cannot fit it; callers treat that as admission failure.
+func (p *Pool) NewSeq(tokens int) (*Seq, error) {
+	if tokens < 0 {
+		return nil, fmt.Errorf("kvcache: NewSeq(%d)", tokens)
+	}
+	need := p.BlocksForTokens(tokens)
+	if need > p.freeBlocks {
+		return nil, fmt.Errorf("kvcache: need %d blocks, %d free", need, p.freeBlocks)
+	}
+	p.freeBlocks -= need
+	p.seqs++
+	return &Seq{pool: p, tokens: tokens, blocks: need}, nil
+}
+
+// Tokens returns the sequence's token count (valid even while swapped).
+func (s *Seq) Tokens() int { return s.tokens }
+
+// Blocks returns GPU blocks currently held (0 while swapped out).
+func (s *Seq) Blocks() int {
+	if s.swapped {
+		return 0
+	}
+	return s.blocks
+}
+
+// Swapped reports whether the sequence lives in host memory.
+func (s *Seq) Swapped() bool { return s.swapped }
+
+// Append adds n generated tokens, allocating blocks as needed. It returns an
+// error when the pool is exhausted; the caller must then preempt per policy.
+func (s *Seq) Append(n int) error {
+	if s.released {
+		return fmt.Errorf("kvcache: append to released seq")
+	}
+	if s.swapped {
+		return fmt.Errorf("kvcache: append to swapped-out seq")
+	}
+	if n < 0 {
+		return fmt.Errorf("kvcache: Append(%d)", n)
+	}
+	newBlocks := s.pool.BlocksForTokens(s.tokens+n) - s.blocks
+	if newBlocks > s.pool.freeBlocks {
+		return fmt.Errorf("kvcache: need %d more blocks, %d free",
+			newBlocks, s.pool.freeBlocks)
+	}
+	s.pool.freeBlocks -= newBlocks
+	s.blocks += newBlocks
+	s.tokens += n
+	return nil
+}
+
+// SwapOut releases the GPU blocks while retaining logical token state (the
+// host DRAM copy). Swapping an already swapped sequence is an error.
+func (s *Seq) SwapOut() error {
+	if s.released {
+		return fmt.Errorf("kvcache: swap-out released seq")
+	}
+	if s.swapped {
+		return fmt.Errorf("kvcache: double swap-out")
+	}
+	s.pool.freeBlocks += s.blocks
+	s.swapped = true
+	return nil
+}
+
+// SwapIn reacquires GPU blocks for a swapped sequence.
+func (s *Seq) SwapIn() error {
+	if s.released {
+		return fmt.Errorf("kvcache: swap-in released seq")
+	}
+	if !s.swapped {
+		return fmt.Errorf("kvcache: swap-in resident seq")
+	}
+	if s.blocks > s.pool.freeBlocks {
+		return fmt.Errorf("kvcache: swap-in needs %d blocks, %d free",
+			s.blocks, s.pool.freeBlocks)
+	}
+	s.pool.freeBlocks -= s.blocks
+	s.swapped = false
+	return nil
+}
+
+// MoveTo reallocates the sequence in dst, freeing it here. It models
+// migration (Llumnix) and the §4.2 KVCache exchange destination allocation;
+// the caller accounts for transfer time separately.
+func (s *Seq) MoveTo(dst *Pool) (*Seq, error) {
+	if s.released {
+		return nil, fmt.Errorf("kvcache: move released seq")
+	}
+	moved, err := dst.NewSeq(s.tokens)
+	if err != nil {
+		return nil, err
+	}
+	s.Free()
+	return moved, nil
+}
+
+// Free releases the sequence's blocks. Free is idempotent.
+func (s *Seq) Free() {
+	if s.released {
+		return
+	}
+	if !s.swapped {
+		s.pool.freeBlocks += s.blocks
+	}
+	s.released = true
+	s.pool.seqs--
+}
+
+// CheckInvariants validates pool accounting.
+func (p *Pool) CheckInvariants() error {
+	if p.freeBlocks < 0 || p.freeBlocks > p.totalBlocks {
+		return fmt.Errorf("kvcache: free %d of total %d", p.freeBlocks, p.totalBlocks)
+	}
+	if p.seqs < 0 {
+		return fmt.Errorf("kvcache: negative live sequences")
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package kvcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p := NewPool(100, 64)
+	if p.TotalBlocks() != 100 || p.FreeBlocks() != 100 || p.UsedBlocks() != 0 {
+		t.Fatal("fresh pool accounting wrong")
+	}
+	if p.BlockTokens() != 64 {
+		t.Fatal("block tokens")
+	}
+	if p.Utilization() != 0 {
+		t.Fatal("fresh pool utilization")
+	}
+}
+
+func TestBlocksForTokens(t *testing.T) {
+	p := NewPool(10, 64)
+	cases := []struct{ tokens, blocks int }{
+		{0, 0}, {-5, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := p.BlocksForTokens(c.tokens); got != c.blocks {
+			t.Errorf("BlocksForTokens(%d) = %d, want %d", c.tokens, got, c.blocks)
+		}
+	}
+}
+
+func TestSeqLifecycle(t *testing.T) {
+	p := NewPool(10, 64)
+	s, err := p.NewSeq(100) // 2 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tokens() != 100 || s.Blocks() != 2 {
+		t.Fatalf("tokens=%d blocks=%d", s.Tokens(), s.Blocks())
+	}
+	if p.FreeBlocks() != 8 || p.LiveSequences() != 1 {
+		t.Fatal("pool accounting after alloc")
+	}
+	// Appending within the last block takes no new block.
+	if err := s.Append(28); err != nil { // 128 tokens, still 2 blocks
+		t.Fatal(err)
+	}
+	if s.Blocks() != 2 {
+		t.Fatalf("blocks = %d after append within block", s.Blocks())
+	}
+	if err := s.Append(1); err != nil { // 129 tokens -> 3 blocks
+		t.Fatal(err)
+	}
+	if s.Blocks() != 3 || p.FreeBlocks() != 7 {
+		t.Fatal("append across block boundary")
+	}
+	s.Free()
+	if p.FreeBlocks() != 10 || p.LiveSequences() != 0 {
+		t.Fatal("free did not return blocks")
+	}
+	s.Free() // idempotent
+	if p.FreeBlocks() != 10 {
+		t.Fatal("double free corrupted pool")
+	}
+}
+
+func TestAdmissionFailure(t *testing.T) {
+	p := NewPool(2, 64)
+	if _, err := p.NewSeq(129); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if !p.CanFit(128) || p.CanFit(129) {
+		t.Error("CanFit wrong")
+	}
+	if _, err := p.NewSeq(-1); err == nil {
+		t.Error("negative tokens accepted")
+	}
+}
+
+func TestAppendExhaustion(t *testing.T) {
+	p := NewPool(2, 64)
+	s, err := p.NewSeq(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1); err == nil {
+		t.Error("append beyond pool accepted")
+	}
+	// Failed append must not corrupt state.
+	if s.Tokens() != 128 || s.Blocks() != 2 || p.FreeBlocks() != 0 {
+		t.Error("failed append mutated state")
+	}
+	if err := s.Append(-1); err == nil {
+		t.Error("negative append accepted")
+	}
+}
+
+func TestSwapOutIn(t *testing.T) {
+	p := NewPool(4, 64)
+	s, _ := p.NewSeq(256) // all 4 blocks
+	if err := s.SwapOut(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 0 || !s.Swapped() || p.FreeBlocks() != 4 {
+		t.Fatal("swap-out accounting")
+	}
+	if s.Tokens() != 256 {
+		t.Fatal("swap-out lost token state")
+	}
+	if err := s.SwapOut(); err == nil {
+		t.Error("double swap-out accepted")
+	}
+	if err := s.Append(1); err == nil {
+		t.Error("append while swapped accepted")
+	}
+	// Another request takes the memory; swap-in must fail.
+	other, _ := p.NewSeq(64)
+	if err := s.SwapIn(); err == nil {
+		t.Error("swap-in without memory accepted")
+	}
+	other.Free()
+	if err := s.SwapIn(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 4 || s.Swapped() {
+		t.Fatal("swap-in accounting")
+	}
+	if err := s.SwapIn(); err == nil {
+		t.Error("double swap-in accepted")
+	}
+}
+
+func TestFreeWhileSwappedDoesNotReturnBlocks(t *testing.T) {
+	p := NewPool(4, 64)
+	s, _ := p.NewSeq(256)
+	s.SwapOut()
+	s.Free()
+	if p.FreeBlocks() != 4 {
+		t.Fatalf("free blocks = %d, want 4", p.FreeBlocks())
+	}
+	if p.LiveSequences() != 0 {
+		t.Fatal("live sequences after free")
+	}
+}
+
+func TestMoveTo(t *testing.T) {
+	src := NewPool(4, 64)
+	dst := NewPool(4, 64)
+	s, _ := src.NewSeq(200)
+	moved, err := s.MoveTo(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Tokens() != 200 {
+		t.Fatal("moved tokens")
+	}
+	if src.FreeBlocks() != 4 || src.LiveSequences() != 0 {
+		t.Fatal("source not freed")
+	}
+	if dst.UsedBlocks() != 4 || dst.LiveSequences() != 1 {
+		t.Fatal("destination not allocated")
+	}
+}
+
+func TestMoveToFullDestinationFailsCleanly(t *testing.T) {
+	src := NewPool(4, 64)
+	dst := NewPool(1, 64)
+	s, _ := src.NewSeq(200)
+	if _, err := s.MoveTo(dst); err == nil {
+		t.Fatal("move into full pool accepted")
+	}
+	// Source must be untouched.
+	if s.Tokens() != 200 || src.UsedBlocks() != 4 {
+		t.Fatal("failed move mutated source")
+	}
+}
+
+func TestReleasedSeqOperations(t *testing.T) {
+	p := NewPool(4, 64)
+	s, _ := p.NewSeq(64)
+	s.Free()
+	if err := s.Append(1); err == nil {
+		t.Error("append on released seq accepted")
+	}
+	if err := s.SwapOut(); err == nil {
+		t.Error("swap-out on released seq accepted")
+	}
+	if err := s.SwapIn(); err == nil {
+		t.Error("swap-in on released seq accepted")
+	}
+	if _, err := s.MoveTo(NewPool(4, 64)); err == nil {
+		t.Error("move on released seq accepted")
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	p := NewPool(10, 64)
+	s, _ := p.NewSeq(640) // all 10
+	p.AddBlocks(5)
+	if p.TotalBlocks() != 15 || p.FreeBlocks() != 5 {
+		t.Fatal("grow accounting")
+	}
+	if err := p.RemoveBlocks(6); err == nil {
+		t.Error("removing in-use blocks accepted")
+	}
+	if err := p.RemoveBlocks(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalBlocks() != 10 || p.FreeBlocks() != 0 {
+		t.Fatal("shrink accounting")
+	}
+	if err := p.RemoveBlocks(-1); err == nil {
+		t.Error("negative remove accepted")
+	}
+	s.Free()
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := NewPool(10, 64)
+	s, _ := p.NewSeq(320) // 5 blocks
+	if got := p.Utilization(); got != 0.5 {
+		t.Fatalf("utilization = %v", got)
+	}
+	s.Free()
+	empty := NewPool(0, 64)
+	if empty.Utilization() != 0 {
+		t.Fatal("empty pool utilization")
+	}
+}
+
+func TestBadPoolPanics(t *testing.T) {
+	for _, c := range []struct{ blocks, tokens int }{{-1, 64}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPool(%d,%d) did not panic", c.blocks, c.tokens)
+				}
+			}()
+			NewPool(c.blocks, c.tokens)
+		}()
+	}
+	p := NewPool(1, 64)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddBlocks(-1) did not panic")
+			}
+		}()
+		p.AddBlocks(-1)
+	}()
+}
+
+// Property: any sequence of alloc/append/swap/free operations conserves
+// blocks and never lets free exceed total.
+func TestPropertyPoolConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPool(64, 16)
+		var seqs []*Seq
+		for _, op := range ops {
+			switch op % 6 {
+			case 0:
+				if s, err := p.NewSeq(int(op % 512)); err == nil {
+					seqs = append(seqs, s)
+				}
+			case 1:
+				if len(seqs) > 0 {
+					seqs[int(op)%len(seqs)].Append(int(op % 64))
+				}
+			case 2:
+				if len(seqs) > 0 {
+					seqs[int(op)%len(seqs)].SwapOut()
+				}
+			case 3:
+				if len(seqs) > 0 {
+					seqs[int(op)%len(seqs)].SwapIn()
+				}
+			case 4:
+				if len(seqs) > 0 {
+					i := int(op) % len(seqs)
+					seqs[i].Free()
+					seqs = append(seqs[:i], seqs[i+1:]...)
+				}
+			case 5:
+				p.AddBlocks(int(op % 8))
+			}
+			if err := p.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		for _, s := range seqs {
+			s.Free()
+		}
+		// After freeing everything, used blocks must be zero.
+		return p.UsedBlocks() == 0 && p.LiveSequences() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

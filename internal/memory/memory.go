@@ -1,0 +1,209 @@
+// Package memory models the unified GPU physical-memory management of §4.1.
+//
+// Real KunServe allocates all GPU physical memory with cuMemCreate and binds
+// it to virtual ranges with cuMemMap/cuMemUnmap so that the highly optimized
+// attention kernels — written against a single contiguous KVCache range —
+// can use physical memory freed by dropped parameters without modification.
+// This package reproduces those semantics: a per-instance pool of fixed-size
+// physical chunks, named virtual ranges that map chunks contiguously, and
+// microsecond-scale per-call latencies so remapping cost appears in the
+// simulation timeline (the paper measures ~5 ms per plan execution,
+// negligible against inference time).
+package memory
+
+import (
+	"fmt"
+
+	"kunserve/internal/sim"
+)
+
+// ChunkSize is the physical allocation granularity (CUDA VMM uses 2 MiB).
+const ChunkSize = int64(2) << 20
+
+// PerCallLatency is the simulated cost of one cuMemMap/cuMemUnmap call.
+const PerCallLatency = 2 * sim.Microsecond
+
+// MinApplyLatency floors a plan execution; the paper reports ~5 ms per drop
+// on their platform, dominated by driver entry and TLB shootdowns.
+const MinApplyLatency = 5 * sim.Millisecond
+
+// Range is a named contiguous virtual range backed by physical chunks.
+type Range struct {
+	name   string
+	chunks int64 // physical chunks currently mapped
+}
+
+// Name returns the range's identifier.
+func (r *Range) Name() string { return r.name }
+
+// Bytes returns the mapped size of the range.
+func (r *Range) Bytes() int64 { return r.chunks * ChunkSize }
+
+// Manager owns the physical memory of one serving instance (all its GPUs'
+// HBM, net of the framework's reserved activation/workspace memory).
+type Manager struct {
+	totalChunks int64
+	freeChunks  int64
+	ranges      map[string]*Range
+	order       []string // deterministic iteration
+}
+
+// NewManager creates a manager over totalBytes of physical memory. Bytes are
+// rounded down to whole chunks.
+func NewManager(totalBytes int64) *Manager {
+	if totalBytes < ChunkSize {
+		panic(fmt.Sprintf("memory: total %d below one chunk", totalBytes))
+	}
+	n := totalBytes / ChunkSize
+	return &Manager{
+		totalChunks: n,
+		freeChunks:  n,
+		ranges:      make(map[string]*Range),
+	}
+}
+
+func chunksFor(bytes int64) int64 {
+	return (bytes + ChunkSize - 1) / ChunkSize
+}
+
+// TotalBytes returns the managed physical capacity.
+func (m *Manager) TotalBytes() int64 { return m.totalChunks * ChunkSize }
+
+// FreeBytes returns unmapped physical capacity.
+func (m *Manager) FreeBytes() int64 { return m.freeChunks * ChunkSize }
+
+// MappedBytes returns physical capacity currently mapped into ranges.
+func (m *Manager) MappedBytes() int64 {
+	return m.TotalBytes() - m.FreeBytes()
+}
+
+// Range returns the named range, or nil.
+func (m *Manager) Range(name string) *Range { return m.ranges[name] }
+
+// Ranges returns range names in creation order.
+func (m *Manager) Ranges() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Reserve creates a new virtual range and maps bytes of physical memory into
+// it. It returns an error when the name exists or physical memory is short:
+// callers (the local memory manager) must treat that as plan infeasibility,
+// not a crash.
+func (m *Manager) Reserve(name string, bytes int64) (*Range, error) {
+	if _, ok := m.ranges[name]; ok {
+		return nil, fmt.Errorf("memory: range %q already exists", name)
+	}
+	need := chunksFor(bytes)
+	if need > m.freeChunks {
+		return nil, fmt.Errorf("memory: reserve %q needs %d chunks, %d free",
+			name, need, m.freeChunks)
+	}
+	r := &Range{name: name, chunks: need}
+	m.freeChunks -= need
+	m.ranges[name] = r
+	m.order = append(m.order, name)
+	return r, nil
+}
+
+// Extend maps additional physical chunks to the tail of the named range —
+// the §4.1 operation that grows the KVCache region into memory freed by a
+// parameter drop. It returns the latency the caller must charge to the
+// simulation clock.
+func (m *Manager) Extend(name string, bytes int64) (sim.Duration, error) {
+	r, ok := m.ranges[name]
+	if !ok {
+		return 0, fmt.Errorf("memory: extend unknown range %q", name)
+	}
+	need := chunksFor(bytes)
+	if need > m.freeChunks {
+		return 0, fmt.Errorf("memory: extend %q needs %d chunks, %d free",
+			name, need, m.freeChunks)
+	}
+	m.freeChunks -= need
+	r.chunks += need
+	return applyLatency(need), nil
+}
+
+// Shrink unmaps bytes from the tail of the named range, returning the
+// physical chunks to the free pool (the restore path reclaims KVCache tail
+// to rebuild the parameter region).
+func (m *Manager) Shrink(name string, bytes int64) (sim.Duration, error) {
+	r, ok := m.ranges[name]
+	if !ok {
+		return 0, fmt.Errorf("memory: shrink unknown range %q", name)
+	}
+	give := chunksFor(bytes)
+	if give > r.chunks {
+		return 0, fmt.Errorf("memory: shrink %q by %d chunks, only %d mapped",
+			name, give, r.chunks)
+	}
+	r.chunks -= give
+	m.freeChunks += give
+	return applyLatency(give), nil
+}
+
+// Release destroys a range entirely, freeing its chunks.
+func (m *Manager) Release(name string) (sim.Duration, error) {
+	r, ok := m.ranges[name]
+	if !ok {
+		return 0, fmt.Errorf("memory: release unknown range %q", name)
+	}
+	m.freeChunks += r.chunks
+	delete(m.ranges, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return applyLatency(r.chunks), nil
+}
+
+// MoveBetween atomically shrinks src and extends dst by the same byte count:
+// the drop plan's core action (parameters → KVCache) and its inverse on
+// restore. A single latency covers the combined unmap+map pass.
+func (m *Manager) MoveBetween(src, dst string, bytes int64) (sim.Duration, error) {
+	s, ok := m.ranges[src]
+	if !ok {
+		return 0, fmt.Errorf("memory: move from unknown range %q", src)
+	}
+	d, ok := m.ranges[dst]
+	if !ok {
+		return 0, fmt.Errorf("memory: move to unknown range %q", dst)
+	}
+	n := chunksFor(bytes)
+	if n > s.chunks {
+		return 0, fmt.Errorf("memory: move %d chunks from %q, only %d mapped",
+			n, src, s.chunks)
+	}
+	s.chunks -= n
+	d.chunks += n
+	return applyLatency(n), nil
+}
+
+// CheckInvariants verifies conservation of physical chunks; the instance
+// test-suite calls it after every mutation sequence.
+func (m *Manager) CheckInvariants() error {
+	var mapped int64
+	for _, r := range m.ranges {
+		if r.chunks < 0 {
+			return fmt.Errorf("memory: range %q has negative chunks", r.name)
+		}
+		mapped += r.chunks
+	}
+	if mapped+m.freeChunks != m.totalChunks {
+		return fmt.Errorf("memory: leak: mapped %d + free %d != total %d",
+			mapped, m.freeChunks, m.totalChunks)
+	}
+	return nil
+}
+
+func applyLatency(chunks int64) sim.Duration {
+	d := sim.Duration(chunks) * PerCallLatency
+	if d < MinApplyLatency {
+		return MinApplyLatency
+	}
+	return d
+}

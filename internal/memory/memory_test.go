@@ -1,0 +1,236 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kunserve/internal/sim"
+)
+
+const gib = int64(1) << 30
+
+func TestReserveAndAccounting(t *testing.T) {
+	m := NewManager(80 * gib)
+	if m.TotalBytes() != 80*gib {
+		t.Fatalf("total = %d", m.TotalBytes())
+	}
+	r, err := m.Reserve("params", 28*gib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes() != 28*gib {
+		t.Fatalf("params bytes = %d", r.Bytes())
+	}
+	if m.FreeBytes() != 52*gib {
+		t.Fatalf("free = %d", m.FreeBytes())
+	}
+	if m.MappedBytes() != 28*gib {
+		t.Fatalf("mapped = %d", m.MappedBytes())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveRoundsUpToChunks(t *testing.T) {
+	m := NewManager(1 * gib)
+	r, err := m.Reserve("x", ChunkSize+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes() != 2*ChunkSize {
+		t.Fatalf("bytes = %d, want 2 chunks", r.Bytes())
+	}
+}
+
+func TestReserveErrors(t *testing.T) {
+	m := NewManager(1 * gib)
+	if _, err := m.Reserve("a", gib/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reserve("a", ChunkSize); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := m.Reserve("b", gib); err == nil {
+		t.Error("over-reservation accepted")
+	}
+}
+
+// The §4.1 flow: drop parameters, map freed chunks into the KVCache tail.
+func TestDropFlowMovesParamsToKV(t *testing.T) {
+	m := NewManager(80 * gib)
+	if _, err := m.Reserve("params", 28*gib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reserve("kvcache", 46*gib); err != nil {
+		t.Fatal(err)
+	}
+	// Drop half the layers: 14 GiB of parameters become KVCache.
+	d, err := m.MoveBetween("params", "kvcache", 14*gib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < MinApplyLatency {
+		t.Errorf("latency %v below floor", d)
+	}
+	if got := m.Range("params").Bytes(); got != 14*gib {
+		t.Errorf("params after drop = %d", got)
+	}
+	if got := m.Range("kvcache").Bytes(); got != 60*gib {
+		t.Errorf("kvcache after drop = %d", got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Restore: the inverse move.
+	if _, err := m.MoveBetween("kvcache", "params", 14*gib); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Range("params").Bytes(); got != 28*gib {
+		t.Errorf("params after restore = %d", got)
+	}
+}
+
+func TestExtendAndShrink(t *testing.T) {
+	m := NewManager(10 * gib)
+	if _, err := m.Reserve("kv", 2*gib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Extend("kv", 3*gib); err != nil {
+		t.Fatal(err)
+	}
+	if m.Range("kv").Bytes() != 5*gib {
+		t.Fatalf("after extend = %d", m.Range("kv").Bytes())
+	}
+	if _, err := m.Shrink("kv", 4*gib); err != nil {
+		t.Fatal(err)
+	}
+	if m.Range("kv").Bytes() != 1*gib {
+		t.Fatalf("after shrink = %d", m.Range("kv").Bytes())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	m := NewManager(4 * gib)
+	if _, err := m.Reserve("a", gib); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		op   func() error
+	}{
+		{"extend unknown", func() error { _, err := m.Extend("zzz", gib); return err }},
+		{"extend beyond free", func() error { _, err := m.Extend("a", 100*gib); return err }},
+		{"shrink unknown", func() error { _, err := m.Shrink("zzz", gib); return err }},
+		{"shrink beyond mapped", func() error { _, err := m.Shrink("a", 2*gib); return err }},
+		{"release unknown", func() error { _, err := m.Release("zzz"); return err }},
+		{"move src unknown", func() error { _, err := m.MoveBetween("zzz", "a", gib); return err }},
+		{"move dst unknown", func() error { _, err := m.MoveBetween("a", "zzz", gib); return err }},
+		{"move beyond mapped", func() error { _, err := m.MoveBetween("a", "a", 2*gib); return err }},
+	}
+	for _, c := range cases {
+		if c.op() == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("failed ops corrupted state: %v", err)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	m := NewManager(4 * gib)
+	if _, err := m.Reserve("a", gib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reserve("b", gib); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Ranges(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Ranges = %v", got)
+	}
+	if _, err := m.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Range("a") != nil {
+		t.Error("released range still present")
+	}
+	if m.FreeBytes() != 3*gib {
+		t.Errorf("free = %d", m.FreeBytes())
+	}
+	if got := m.Ranges(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Ranges = %v", got)
+	}
+}
+
+func TestApplyLatencyScalesWithChunks(t *testing.T) {
+	m := NewManager(80 * gib)
+	if _, err := m.Reserve("kv", ChunkSize); err != nil {
+		t.Fatal(err)
+	}
+	small, err := m.Extend("kv", ChunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := m.Extend("kv", 40*gib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != MinApplyLatency {
+		t.Errorf("small extend latency = %v, want floor %v", small, MinApplyLatency)
+	}
+	if big <= small {
+		t.Errorf("big extend %v not slower than small %v", big, small)
+	}
+	// 40 GiB = 20480 chunks at 2 µs each ≈ 41 ms.
+	if big < 20*sim.Millisecond || big > 100*sim.Millisecond {
+		t.Errorf("big extend latency = %v, want tens of ms", big)
+	}
+}
+
+func TestTinyManagerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("sub-chunk manager did not panic")
+		}
+	}()
+	NewManager(ChunkSize - 1)
+}
+
+// Property: any interleaving of extend/shrink/move keeps chunk conservation.
+func TestPropertyConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewManager(16 * gib)
+		if _, err := m.Reserve("p", 6*gib); err != nil {
+			return false
+		}
+		if _, err := m.Reserve("k", 6*gib); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			amount := int64(op%64+1) * ChunkSize
+			switch op % 5 {
+			case 0:
+				m.Extend("k", amount)
+			case 1:
+				m.Shrink("k", amount)
+			case 2:
+				m.MoveBetween("p", "k", amount)
+			case 3:
+				m.MoveBetween("k", "p", amount)
+			case 4:
+				m.Extend("p", amount)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package metrics collects the serving metrics the paper's evaluation
+// reports: TTFT and TPOT distributions (P50/P90/P99/P999), mean-latency and
+// throughput time series (Figure 12/16 panels), SLO-violation ratios under
+// scale factors (Figure 13), and GPU bubble-time ratios (Figure 14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kunserve/internal/sim"
+)
+
+// Dist is an online collection of latency samples in seconds.
+type Dist struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *Dist) Count() int { return len(d.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest-rank, or
+// 0 with no samples.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(d.samples) {
+		rank = len(d.samples)
+	}
+	return d.samples[rank-1]
+}
+
+// Max returns the largest sample.
+func (d *Dist) Max() float64 { return d.Percentile(100) }
+
+// ViolationRatio returns the fraction of samples exceeding the limit.
+func (d *Dist) ViolationRatio(limit float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range d.samples {
+		if v > limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.samples))
+}
+
+// Series accumulates values into fixed-width time windows.
+type Series struct {
+	window sim.Duration
+	sums   []float64
+	counts []int64
+}
+
+// NewSeries creates a series with the given bin width.
+func NewSeries(window sim.Duration) *Series {
+	if window <= 0 {
+		panic(fmt.Sprintf("metrics: window %v", window))
+	}
+	return &Series{window: window}
+}
+
+// Window returns the bin width.
+func (s *Series) Window() sim.Duration { return s.window }
+
+func (s *Series) grow(bin int) {
+	for len(s.sums) <= bin {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+}
+
+// Observe adds v to the bin containing t.
+func (s *Series) Observe(t sim.Time, v float64) {
+	if t < 0 {
+		panic("metrics: negative time")
+	}
+	bin := int(sim.Duration(t) / s.window)
+	s.grow(bin)
+	s.sums[bin] += v
+	s.counts[bin]++
+}
+
+// Bins returns the number of bins touched.
+func (s *Series) Bins() int { return len(s.sums) }
+
+// Sum returns the per-bin sums.
+func (s *Series) Sum() []float64 {
+	out := make([]float64, len(s.sums))
+	copy(out, s.sums)
+	return out
+}
+
+// MeanPerBin returns per-bin averages (0 for empty bins).
+func (s *Series) MeanPerBin() []float64 {
+	out := make([]float64, len(s.sums))
+	for i := range s.sums {
+		if s.counts[i] > 0 {
+			out[i] = s.sums[i] / float64(s.counts[i])
+		}
+	}
+	return out
+}
+
+// RatePerSecond returns per-bin sums divided by the bin width in seconds
+// (e.g., tokens/s throughput when Observe records token counts).
+func (s *Series) RatePerSecond() []float64 {
+	w := s.window.Seconds()
+	out := make([]float64, len(s.sums))
+	for i := range s.sums {
+		out[i] = s.sums[i] / w
+	}
+	return out
+}
+
+// MaxPerBinSeries tracks the maximum observation per window (memory demand
+// panels use this).
+type MaxSeries struct {
+	window sim.Duration
+	maxes  []float64
+}
+
+// NewMaxSeries creates a max-series with the given bin width.
+func NewMaxSeries(window sim.Duration) *MaxSeries {
+	if window <= 0 {
+		panic(fmt.Sprintf("metrics: window %v", window))
+	}
+	return &MaxSeries{window: window}
+}
+
+// Observe records v at t, keeping the per-bin maximum.
+func (m *MaxSeries) Observe(t sim.Time, v float64) {
+	if t < 0 {
+		panic("metrics: negative time")
+	}
+	bin := int(sim.Duration(t) / m.window)
+	for len(m.maxes) <= bin {
+		m.maxes = append(m.maxes, 0)
+	}
+	if v > m.maxes[bin] {
+		m.maxes[bin] = v
+	}
+}
+
+// Values returns the per-bin maxima.
+func (m *MaxSeries) Values() []float64 {
+	out := make([]float64, len(m.maxes))
+	copy(out, m.maxes)
+	return out
+}
+
+// RequestRecord is one finished request's latency outcome.
+type RequestRecord struct {
+	ID           int
+	Arrival      sim.Time
+	FirstToken   sim.Time
+	Completed    sim.Time
+	OutputTokens int
+}
+
+// TTFT returns time-to-first-token in seconds.
+func (r RequestRecord) TTFT() float64 { return r.FirstToken.Sub(r.Arrival).Seconds() }
+
+// TPOT returns mean time-per-output-token in seconds (0 for single-token
+// outputs).
+func (r RequestRecord) TPOT() float64 {
+	if r.OutputTokens <= 1 {
+		return 0
+	}
+	return r.Completed.Sub(r.FirstToken).Seconds() / float64(r.OutputTokens-1)
+}
+
+// Collector aggregates one serving run.
+type Collector struct {
+	TTFT     Dist
+	TPOT     Dist
+	Records  []RequestRecord
+	MeanTTFT *Series    // mean TTFT per window (Fig. 12 col 2)
+	Tokens   *Series    // emitted tokens per window (Fig. 12 col 3)
+	KVDemand *MaxSeries // peak KV memory demand bytes (Fig. 12 col 1)
+}
+
+// NewCollector creates a collector with the given time-series window.
+func NewCollector(window sim.Duration) *Collector {
+	return &Collector{
+		MeanTTFT: NewSeries(window),
+		Tokens:   NewSeries(window),
+		KVDemand: NewMaxSeries(window),
+	}
+}
+
+// Finish records a completed request.
+func (c *Collector) Finish(r RequestRecord) {
+	c.Records = append(c.Records, r)
+	c.TTFT.Add(r.TTFT())
+	if r.OutputTokens > 1 {
+		c.TPOT.Add(r.TPOT())
+	}
+	c.MeanTTFT.Observe(r.FirstToken, r.TTFT())
+}
+
+// EmitTokens records generated tokens for throughput accounting.
+func (c *Collector) EmitTokens(t sim.Time, n int) {
+	c.Tokens.Observe(t, float64(n))
+}
+
+// ObserveKVDemand records instantaneous KV memory demand in bytes.
+func (c *Collector) ObserveKVDemand(t sim.Time, bytes int64) {
+	c.KVDemand.Observe(t, float64(bytes))
+}
+
+// ThroughputTokensPerSec returns overall tokens/second across the run span.
+func (c *Collector) ThroughputTokensPerSec() float64 {
+	sums := c.Tokens.Sum()
+	if len(sums) == 0 {
+		return 0
+	}
+	var total float64
+	for _, v := range sums {
+		total += v
+	}
+	return total / (float64(len(sums)) * c.Tokens.Window().Seconds())
+}
+
+// SLOResult is the violation outcome at one SLO scale (Figure 13 last
+// column).
+type SLOResult struct {
+	Scale          float64
+	TTFTLimit      float64
+	TPOTLimit      float64
+	ViolationRatio float64
+}
+
+// SLOViolations computes, per scale, the fraction of requests whose TTFT or
+// TPOT exceeds scale x the reference P50 (the paper's definition: reference
+// is the best baseline's P50).
+func (c *Collector) SLOViolations(refP50TTFT, refP50TPOT float64, scales []float64) []SLOResult {
+	out := make([]SLOResult, 0, len(scales))
+	for _, scale := range scales {
+		tl, pl := scale*refP50TTFT, scale*refP50TPOT
+		viol := 0
+		for _, r := range c.Records {
+			if r.TTFT() > tl || (r.OutputTokens > 1 && r.TPOT() > pl) {
+				viol++
+			}
+		}
+		ratio := 0.0
+		if len(c.Records) > 0 {
+			ratio = float64(viol) / float64(len(c.Records))
+		}
+		out = append(out, SLOResult{Scale: scale, TTFTLimit: tl, TPOTLimit: pl, ViolationRatio: ratio})
+	}
+	return out
+}
+
+// BubbleTracker measures GPU idle ("bubble") time during pipelined
+// execution: the Figure 14 bottom panel. Busy intervals are reported by the
+// executor; everything else inside the tracked span is a bubble.
+type BubbleTracker struct {
+	started  bool
+	start    sim.Time
+	busy     sim.Duration
+	lastBusy sim.Time
+	end      sim.Time
+}
+
+// Start begins tracking at t.
+func (b *BubbleTracker) Start(t sim.Time) {
+	b.started = true
+	b.start = t
+	b.end = t
+	b.busy = 0
+}
+
+// AddBusy records a busy interval [from, to).
+func (b *BubbleTracker) AddBusy(from, to sim.Time) {
+	if !b.started || to <= from {
+		return
+	}
+	b.busy += to.Sub(from)
+	if to > b.end {
+		b.end = to
+	}
+}
+
+// Stop closes the tracked span at t.
+func (b *BubbleTracker) Stop(t sim.Time) {
+	if t > b.end {
+		b.end = t
+	}
+}
+
+// BubbleRatio returns idle fraction in [0,1] over the tracked span.
+func (b *BubbleTracker) BubbleRatio() float64 {
+	if !b.started {
+		return 0
+	}
+	span := b.end.Sub(b.start)
+	if span <= 0 {
+		return 0
+	}
+	busy := b.busy
+	if busy > span {
+		busy = span
+	}
+	return 1 - busy.Seconds()/span.Seconds()
+}

@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kunserve/internal/sim"
+)
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Percentile(50) != 0 || d.Count() != 0 {
+		t.Fatal("empty dist stats")
+	}
+	for _, v := range []float64{3, 1, 2, 5, 4} {
+		d.Add(v)
+	}
+	if d.Count() != 5 {
+		t.Fatal("count")
+	}
+	if d.Mean() != 3 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if got := d.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := d.Max(); got != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	// Adding after a percentile query re-sorts correctly.
+	d.Add(0.5)
+	if got := d.Percentile(0); got != 0.5 {
+		t.Fatalf("p0 after add = %v", got)
+	}
+}
+
+func TestDistPercentileNearestRank(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{50, 50}, {90, 90}, {99, 99}, {99.9, 100}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestViolationRatio(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 10; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.ViolationRatio(7); got != 0.3 {
+		t.Fatalf("violation ratio = %v", got)
+	}
+	var empty Dist
+	if empty.ViolationRatio(1) != 0 {
+		t.Fatal("empty violation ratio")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(10 * sim.Second)
+	s.Observe(sim.FromSeconds(5), 2)
+	s.Observe(sim.FromSeconds(7), 4)
+	s.Observe(sim.FromSeconds(25), 6)
+	if s.Bins() != 3 {
+		t.Fatalf("bins = %d", s.Bins())
+	}
+	sums := s.Sum()
+	if sums[0] != 6 || sums[1] != 0 || sums[2] != 6 {
+		t.Fatalf("sums = %v", sums)
+	}
+	means := s.MeanPerBin()
+	if means[0] != 3 || means[1] != 0 || means[2] != 6 {
+		t.Fatalf("means = %v", means)
+	}
+	rates := s.RatePerSecond()
+	if rates[0] != 0.6 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if s.Window() != 10*sim.Second {
+		t.Fatal("window")
+	}
+}
+
+func TestMaxSeries(t *testing.T) {
+	m := NewMaxSeries(sim.Second)
+	m.Observe(sim.FromSeconds(0.1), 5)
+	m.Observe(sim.FromSeconds(0.9), 3)
+	m.Observe(sim.FromSeconds(2.5), 7)
+	v := m.Values()
+	if len(v) != 3 || v[0] != 5 || v[1] != 0 || v[2] != 7 {
+		t.Fatalf("values = %v", v)
+	}
+}
+
+func TestSeriesPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewSeries(0) },
+		func() { NewMaxSeries(-sim.Second) },
+		func() { NewSeries(sim.Second).Observe(-1, 1) },
+		func() { NewMaxSeries(sim.Second).Observe(-1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRequestRecord(t *testing.T) {
+	r := RequestRecord{
+		Arrival:      sim.FromSeconds(1),
+		FirstToken:   sim.FromSeconds(1.5),
+		Completed:    sim.FromSeconds(11.5),
+		OutputTokens: 101,
+	}
+	if got := r.TTFT(); got != 0.5 {
+		t.Fatalf("TTFT = %v", got)
+	}
+	if got := r.TPOT(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("TPOT = %v", got)
+	}
+	single := RequestRecord{OutputTokens: 1}
+	if single.TPOT() != 0 {
+		t.Fatal("single-token TPOT")
+	}
+}
+
+func TestCollectorFlow(t *testing.T) {
+	c := NewCollector(10 * sim.Second)
+	c.Finish(RequestRecord{
+		ID: 1, Arrival: 0, FirstToken: sim.FromSeconds(0.2),
+		Completed: sim.FromSeconds(5), OutputTokens: 50,
+	})
+	c.Finish(RequestRecord{
+		ID: 2, Arrival: sim.FromSeconds(1), FirstToken: sim.FromSeconds(1.4),
+		Completed: sim.FromSeconds(2), OutputTokens: 1,
+	})
+	if c.TTFT.Count() != 2 {
+		t.Fatal("TTFT count")
+	}
+	if c.TPOT.Count() != 1 {
+		t.Fatal("TPOT should skip single-token outputs")
+	}
+	c.EmitTokens(sim.FromSeconds(3), 100)
+	c.EmitTokens(sim.FromSeconds(4), 200)
+	if got := c.ThroughputTokensPerSec(); got != 30 {
+		t.Fatalf("throughput = %v", got)
+	}
+	c.ObserveKVDemand(sim.FromSeconds(2), 1e9)
+	if c.KVDemand.Values()[0] != 1e9 {
+		t.Fatal("KV demand series")
+	}
+}
+
+func TestCollectorEmptyThroughput(t *testing.T) {
+	c := NewCollector(sim.Second)
+	if c.ThroughputTokensPerSec() != 0 {
+		t.Fatal("empty throughput")
+	}
+}
+
+func TestSLOViolations(t *testing.T) {
+	c := NewCollector(sim.Second)
+	// Ten requests: TTFTs 0.1..1.0s, all TPOT 10ms over 11 tokens.
+	for i := 1; i <= 10; i++ {
+		ttft := float64(i) * 0.1
+		c.Finish(RequestRecord{
+			ID:           i,
+			Arrival:      0,
+			FirstToken:   sim.FromSeconds(ttft),
+			Completed:    sim.FromSeconds(ttft + 0.1),
+			OutputTokens: 11,
+		})
+	}
+	// Reference P50: 0.1s TTFT, 50ms TPOT. Scale 5 -> limit 0.5s.
+	res := c.SLOViolations(0.1, 0.05, []float64{5, 10})
+	if len(res) != 2 {
+		t.Fatal("result count")
+	}
+	if res[0].TTFTLimit != 0.5 {
+		t.Fatalf("limit = %v", res[0].TTFTLimit)
+	}
+	// TTFT > 0.5: requests 6..10 -> 50%.
+	if res[0].ViolationRatio != 0.5 {
+		t.Fatalf("scale-5 violations = %v", res[0].ViolationRatio)
+	}
+	if res[1].ViolationRatio != 0 {
+		t.Fatalf("scale-10 violations = %v", res[1].ViolationRatio)
+	}
+}
+
+func TestSLOViolationsTPOTCounts(t *testing.T) {
+	c := NewCollector(sim.Second)
+	// Fast TTFT but terrible TPOT.
+	c.Finish(RequestRecord{
+		Arrival: 0, FirstToken: sim.FromSeconds(0.01),
+		Completed: sim.FromSeconds(10), OutputTokens: 11,
+	})
+	res := c.SLOViolations(0.1, 0.05, []float64{5})
+	if res[0].ViolationRatio != 1 {
+		t.Fatal("TPOT violation not counted")
+	}
+}
+
+func TestSLOViolationsEmpty(t *testing.T) {
+	c := NewCollector(sim.Second)
+	res := c.SLOViolations(0.1, 0.05, []float64{5})
+	if res[0].ViolationRatio != 0 {
+		t.Fatal("empty collector violations")
+	}
+}
+
+func TestBubbleTracker(t *testing.T) {
+	var b BubbleTracker
+	if b.BubbleRatio() != 0 {
+		t.Fatal("unstarted tracker")
+	}
+	b.Start(sim.FromSeconds(10))
+	b.AddBusy(sim.FromSeconds(10), sim.FromSeconds(13))
+	b.AddBusy(sim.FromSeconds(15), sim.FromSeconds(19))
+	b.Stop(sim.FromSeconds(20))
+	// busy 7s over span 10s -> 30% bubbles.
+	if got := b.BubbleRatio(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("bubble ratio = %v", got)
+	}
+	// Degenerate intervals ignored.
+	b.AddBusy(sim.FromSeconds(19), sim.FromSeconds(19))
+	if got := b.BubbleRatio(); math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("ratio moved on empty interval: %v", got)
+	}
+}
+
+func TestBubbleTrackerClampsOverBusy(t *testing.T) {
+	var b BubbleTracker
+	b.Start(0)
+	// Overlapping busy reports may exceed the span; ratio clamps at 0.
+	b.AddBusy(0, sim.FromSeconds(8))
+	b.AddBusy(0, sim.FromSeconds(8))
+	b.Stop(sim.FromSeconds(8))
+	if got := b.BubbleRatio(); got != 0 {
+		t.Fatalf("ratio = %v, want clamp to 0", got)
+	}
+}
+
+// Property: Percentile returns an element of the sample set and is monotone
+// in p.
+func TestPropertyPercentiles(t *testing.T) {
+	f := func(raw []float64) bool {
+		var d Dist
+		clean := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				d.Add(v)
+				clean = append(clean, v)
+			}
+		}
+		if d.Count() == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		prev := math.Inf(-1)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := d.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+			found := false
+			for _, s := range clean {
+				if s == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

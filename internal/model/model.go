@@ -1,0 +1,169 @@
+// Package model describes the LLM architectures used throughout the paper's
+// evaluation (Table 1) and derives the two quantities the rest of the system
+// cares about: how many bytes of parameters an instance must hold (what
+// parameter dropping frees) and how many bytes of KVCache one token consumes
+// (what memory overloading accumulates).
+package model
+
+import "fmt"
+
+// GiB is 2^30 bytes; the paper reports all memory figures in binary GB.
+const GiB = int64(1) << 30
+
+// Config describes one transformer model as deployed on one serving
+// instance. Fields are taken from the models' public architecture configs;
+// for the two MoE models the per-instance parameter bytes are overridden
+// with the paper's deployment accounting (expert parallelism replicates the
+// non-expert parameters on every EP rank, see Table 1 note).
+type Config struct {
+	Name string
+
+	// Layers is the number of transformer blocks; the drop planner works
+	// at layer granularity.
+	Layers int
+
+	// HiddenDim is the model (embedding) dimension.
+	HiddenDim int
+
+	// NumHeads and NumKVHeads describe grouped-query attention; KV memory
+	// scales with NumKVHeads only.
+	NumHeads   int
+	NumKVHeads int
+
+	// HeadDim is the per-head dimension.
+	HeadDim int
+
+	// IntermediateDim is the FFN inner dimension (per expert for MoE).
+	IntermediateDim int
+
+	// ParamCount is the total parameter count contributing to one
+	// instance's memory (billions not used; raw count).
+	ParamCount int64
+
+	// ActiveParamCount is the per-token activated parameter count; equals
+	// ParamCount for dense models and the routed-active count for MoE.
+	// It drives compute cost, while ParamCount drives memory.
+	ActiveParamCount int64
+
+	// BytesPerParam is the serving precision (2 for BF16).
+	BytesPerParam int64
+
+	// GPUsPerInstance is the minimal GPU set holding one parameter copy.
+	GPUsPerInstance int
+
+	// InstanceParamBytesOverride, when non-zero, replaces the analytic
+	// ParamCount*BytesPerParam with the paper's reported per-instance
+	// figure (used for MoE models where EP replication inflates it).
+	InstanceParamBytesOverride int64
+
+	// KVBytesPerTokenOverride, when non-zero, replaces the analytic GQA
+	// KV size (used for MLA models such as DeepSeek-V3).
+	KVBytesPerTokenOverride int64
+}
+
+// Validate reports configuration errors that would silently corrupt derived
+// sizes downstream.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("model: empty name")
+	case c.Layers <= 0:
+		return fmt.Errorf("model %s: Layers = %d", c.Name, c.Layers)
+	case c.HiddenDim <= 0:
+		return fmt.Errorf("model %s: HiddenDim = %d", c.Name, c.HiddenDim)
+	case c.NumHeads <= 0 || c.NumKVHeads <= 0:
+		return fmt.Errorf("model %s: heads %d/%d", c.Name, c.NumHeads, c.NumKVHeads)
+	case c.NumHeads%c.NumKVHeads != 0:
+		return fmt.Errorf("model %s: NumHeads %d not divisible by NumKVHeads %d",
+			c.Name, c.NumHeads, c.NumKVHeads)
+	case c.HeadDim <= 0:
+		return fmt.Errorf("model %s: HeadDim = %d", c.Name, c.HeadDim)
+	case c.ParamCount <= 0:
+		return fmt.Errorf("model %s: ParamCount = %d", c.Name, c.ParamCount)
+	case c.ActiveParamCount <= 0 || c.ActiveParamCount > c.ParamCount:
+		return fmt.Errorf("model %s: ActiveParamCount = %d", c.Name, c.ActiveParamCount)
+	case c.BytesPerParam <= 0:
+		return fmt.Errorf("model %s: BytesPerParam = %d", c.Name, c.BytesPerParam)
+	case c.GPUsPerInstance <= 0:
+		return fmt.Errorf("model %s: GPUsPerInstance = %d", c.Name, c.GPUsPerInstance)
+	}
+	return nil
+}
+
+// ParamBytes returns the parameter bytes one instance must hold.
+func (c *Config) ParamBytes() int64 {
+	if c.InstanceParamBytesOverride > 0 {
+		return c.InstanceParamBytesOverride
+	}
+	return c.ParamCount * c.BytesPerParam
+}
+
+// ParamBytesPerLayer returns the droppable unit size. Parameters are treated
+// as uniformly distributed over layers; embeddings and head weights are
+// folded in because the planner only needs proportional accounting.
+func (c *Config) ParamBytesPerLayer() int64 {
+	return c.ParamBytes() / int64(c.Layers)
+}
+
+// ParamBytesPerGPU returns the per-GPU share of the instance's parameters
+// under tensor/expert parallelism inside the instance.
+func (c *Config) ParamBytesPerGPU() int64 {
+	return c.ParamBytes() / int64(c.GPUsPerInstance)
+}
+
+// KVBytesPerToken returns the KVCache bytes one token occupies across all
+// layers of the whole instance (K and V, all KV heads).
+func (c *Config) KVBytesPerToken() int64 {
+	if c.KVBytesPerTokenOverride > 0 {
+		return c.KVBytesPerTokenOverride
+	}
+	return 2 * int64(c.NumKVHeads) * int64(c.HeadDim) * int64(c.Layers) * c.BytesPerParam
+}
+
+// KVBytesPerTokenPerLayer returns the per-layer share of a token's KVCache;
+// pipeline stages hold only their layers' share.
+func (c *Config) KVBytesPerTokenPerLayer() int64 {
+	return c.KVBytesPerToken() / int64(c.Layers)
+}
+
+// LinearFlopsPerToken approximates the dense (FFN + projection) FLOPs to
+// process one token: the standard 2 x active parameters.
+func (c *Config) LinearFlopsPerToken() float64 {
+	return 2 * float64(c.ActiveParamCount)
+}
+
+// AttnFlopsForChunk returns the attention-score FLOPs for a chunk of
+// chunkLen query tokens attending to prefixLen cached tokens plus causally
+// to itself: 4*H*L*(p*c + c(c+1)/2), counting QK^T and AV.
+func (c *Config) AttnFlopsForChunk(prefixLen, chunkLen int) float64 {
+	p, n := float64(prefixLen), float64(chunkLen)
+	perLayer := 4 * float64(c.NumHeads) * float64(c.HeadDim) * (p*n + n*(n+1)/2)
+	return perLayer * float64(c.Layers)
+}
+
+// ParamMemoryRatio returns the fraction of the instance's aggregate HBM
+// consumed by parameters, the quantity Table 1 reports.
+func (c *Config) ParamMemoryRatio(hbmPerGPU int64) float64 {
+	return float64(c.ParamBytes()) / float64(hbmPerGPU*int64(c.GPUsPerInstance))
+}
+
+// Partial returns a copy of the config scaled to hold only the given number
+// of layers (a pipeline stage after a parameter drop). Derived per-layer
+// quantities stay consistent.
+func (c *Config) Partial(layers int) *Config {
+	if layers <= 0 || layers > c.Layers {
+		panic(fmt.Sprintf("model %s: Partial(%d) out of range 1..%d", c.Name, layers, c.Layers))
+	}
+	cp := *c
+	frac := float64(layers) / float64(c.Layers)
+	cp.Layers = layers
+	cp.ParamCount = int64(float64(c.ParamCount) * frac)
+	cp.ActiveParamCount = int64(float64(c.ActiveParamCount) * frac)
+	if c.InstanceParamBytesOverride > 0 {
+		cp.InstanceParamBytesOverride = int64(float64(c.InstanceParamBytesOverride) * frac)
+	}
+	if c.KVBytesPerTokenOverride > 0 {
+		cp.KVBytesPerTokenOverride = int64(float64(c.KVBytesPerTokenOverride) * frac)
+	}
+	return &cp
+}

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZooValidates(t *testing.T) {
+	for _, c := range Table1() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	good := Qwen25_14B()
+	mutations := []func(*Config){
+		func(c *Config) { c.Name = "" },
+		func(c *Config) { c.Layers = 0 },
+		func(c *Config) { c.HiddenDim = -1 },
+		func(c *Config) { c.NumHeads = 0 },
+		func(c *Config) { c.NumKVHeads = 0 },
+		func(c *Config) { c.NumKVHeads = 7 }, // 40 % 7 != 0
+		func(c *Config) { c.HeadDim = 0 },
+		func(c *Config) { c.ParamCount = 0 },
+		func(c *Config) { c.ActiveParamCount = 0 },
+		func(c *Config) { c.ActiveParamCount = c.ParamCount + 1 },
+		func(c *Config) { c.BytesPerParam = 0 },
+		func(c *Config) { c.GPUsPerInstance = 0 },
+	}
+	for i, mutate := range mutations {
+		c := *good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+// §2.2: "when serving a Qwen-2.5-14B model, each token consumes 192 KB".
+func TestQwen14BKVBytesPerTokenMatchesPaper(t *testing.T) {
+	c := Qwen25_14B()
+	if got := c.KVBytesPerToken(); got != 192*1024 {
+		t.Fatalf("KVBytesPerToken = %d, want %d", got, 192*1024)
+	}
+}
+
+// Table 1 cross-check: model size and parameter memory ratio per row.
+func TestTable1Ratios(t *testing.T) {
+	const hbm = 80 * GiB
+	rows := []struct {
+		cfg       *Config
+		sizeGB    float64 // paper "Model size" column
+		ratioPct  float64 // paper "Ratio (%)" column
+		tolerance float64
+	}{
+		{Qwen25_14B(), 28, 34.4, 1.0},
+		{Qwen25_72B(), 136, 42.3, 1.0},
+		{Llama31_405B(), 756, 59.1, 1.0},
+		{Qwen3_235B(), 479, 74.8, 0.5},
+		{DeepSeekV3_671B(), 1572, 61.4, 0.5},
+	}
+	for _, row := range rows {
+		gotGB := float64(row.cfg.ParamBytes()) / float64(GiB)
+		if math.Abs(gotGB-row.sizeGB) > row.sizeGB*0.02 {
+			t.Errorf("%s: param bytes = %.1f GB, paper %v GB", row.cfg.Name, gotGB, row.sizeGB)
+		}
+		gotPct := row.cfg.ParamMemoryRatio(hbm) * 100
+		if math.Abs(gotPct-row.ratioPct) > row.tolerance {
+			t.Errorf("%s: ratio = %.1f%%, paper %.1f%%", row.cfg.Name, gotPct, row.ratioPct)
+		}
+	}
+}
+
+func TestPerLayerAndPerGPUShares(t *testing.T) {
+	c := Qwen25_72B()
+	if got := c.ParamBytesPerLayer() * int64(c.Layers); got > c.ParamBytes() ||
+		got < c.ParamBytes()-int64(c.Layers) {
+		t.Errorf("per-layer shares don't sum back: %d vs %d", got, c.ParamBytes())
+	}
+	if got := c.ParamBytesPerGPU() * int64(c.GPUsPerInstance); got > c.ParamBytes() ||
+		got < c.ParamBytes()-int64(c.GPUsPerInstance) {
+		t.Errorf("per-GPU shares don't sum back: %d vs %d", got, c.ParamBytes())
+	}
+	perLayerKV := c.KVBytesPerTokenPerLayer() * int64(c.Layers)
+	if perLayerKV != c.KVBytesPerToken() {
+		t.Errorf("per-layer KV %d != %d", perLayerKV, c.KVBytesPerToken())
+	}
+}
+
+func TestAttnFlopsQuadraticGrowth(t *testing.T) {
+	c := Qwen25_14B()
+	f1 := c.AttnFlopsForChunk(0, 1000)
+	f2 := c.AttnFlopsForChunk(0, 2000)
+	// Self-attention FLOPs should grow ~quadratically with chunk length.
+	if ratio := f2 / f1; ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("doubling chunk gave flops ratio %.2f, want ~4", ratio)
+	}
+	// Prefix attention adds linearly in prefix length.
+	g1 := c.AttnFlopsForChunk(1000, 100)
+	g2 := c.AttnFlopsForChunk(2000, 100)
+	d1 := g1 - c.AttnFlopsForChunk(0, 100)
+	d2 := g2 - c.AttnFlopsForChunk(0, 100)
+	if ratio := d2 / d1; math.Abs(ratio-2) > 0.01 {
+		t.Errorf("doubling prefix gave delta ratio %.3f, want 2", ratio)
+	}
+}
+
+func TestAttnFlopsZeroChunk(t *testing.T) {
+	c := Qwen25_14B()
+	if got := c.AttnFlopsForChunk(500, 0); got != 0 {
+		t.Errorf("zero chunk flops = %v", got)
+	}
+}
+
+func TestLinearFlopsUsesActiveParams(t *testing.T) {
+	dense := Qwen25_14B()
+	if dense.LinearFlopsPerToken() != 2*float64(dense.ParamCount) {
+		t.Error("dense: linear flops != 2*params")
+	}
+	moe := Qwen3_235B()
+	if moe.LinearFlopsPerToken() != 2*float64(moe.ActiveParamCount) {
+		t.Error("moe: linear flops != 2*active params")
+	}
+	if moe.LinearFlopsPerToken() >= 2*float64(moe.ParamCount) {
+		t.Error("moe active flops should be far below total-param flops")
+	}
+}
+
+func TestPartialScalesProportionally(t *testing.T) {
+	c := Qwen25_14B()
+	half := c.Partial(c.Layers / 2)
+	if half.Layers != 24 {
+		t.Fatalf("Layers = %d", half.Layers)
+	}
+	wantBytes := c.ParamBytes() / 2
+	if diff := half.ParamBytes() - wantBytes; diff < -2 || diff > 2 {
+		t.Errorf("half params = %d, want ~%d", half.ParamBytes(), wantBytes)
+	}
+	if half.KVBytesPerToken() != c.KVBytesPerToken()/2 {
+		t.Errorf("half KV/token = %d, want %d", half.KVBytesPerToken(), c.KVBytesPerToken()/2)
+	}
+	if err := half.Validate(); err != nil {
+		t.Errorf("partial config invalid: %v", err)
+	}
+}
+
+func TestPartialOverridesScale(t *testing.T) {
+	c := DeepSeekV3_671B()
+	// 61 layers; take a single layer.
+	one := c.Partial(1)
+	wantParam := c.ParamBytes() / 61
+	if diff := one.ParamBytes() - wantParam; diff < -c.ParamBytes()/6100 || diff > c.ParamBytes()/6100 {
+		t.Errorf("1-layer params = %d, want ~%d", one.ParamBytes(), wantParam)
+	}
+	if one.KVBytesPerToken() >= c.KVBytesPerToken() {
+		t.Error("partial KV override did not scale down")
+	}
+}
+
+func TestPartialOutOfRangePanics(t *testing.T) {
+	c := Qwen25_14B()
+	for _, n := range []int{0, -1, c.Layers + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partial(%d) did not panic", n)
+				}
+			}()
+			c.Partial(n)
+		}()
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Qwen-2.5-14B") == nil {
+		t.Error("known model not found")
+	}
+	if ByName("GPT-99") != nil {
+		t.Error("unknown model found")
+	}
+}
+
+// Property: for any valid layer split a+b = L, the partial param bytes of
+// the two sides sum to within rounding of the whole.
+func TestPropertyPartialAdditivity(t *testing.T) {
+	c := Qwen25_14B()
+	f := func(raw uint8) bool {
+		a := 1 + int(raw)%(c.Layers-1)
+		b := c.Layers - a
+		sum := c.Partial(a).ParamBytes() + c.Partial(b).ParamBytes()
+		diff := c.ParamBytes() - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // integer truncation from each side
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: attention FLOPs are monotone in both prefix and chunk length.
+func TestPropertyAttnFlopsMonotone(t *testing.T) {
+	c := Qwen25_14B()
+	f := func(p1, p2, n1, n2 uint16) bool {
+		pa, pb := int(p1), int(p2)
+		na, nb := 1+int(n1)%4096, 1+int(n2)%4096
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		if na > nb {
+			na, nb = nb, na
+		}
+		return c.AttnFlopsForChunk(pa, na) <= c.AttnFlopsForChunk(pb, nb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

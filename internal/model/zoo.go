@@ -1,0 +1,125 @@
+package model
+
+// The model zoo: the five deployments of Table 1. Architecture numbers come
+// from the models' public configs; per-instance parameter bytes for the MoE
+// models use the paper's deployment accounting (EP degree 8 / 32 replicates
+// attention and shared weights on every rank, inflating instance totals
+// beyond raw parameter count).
+
+// Qwen25_14B returns Qwen-2.5-14B served on a single 80 GB GPU.
+// KVBytesPerToken derives to 192 KB, matching §2.2.
+func Qwen25_14B() *Config {
+	return &Config{
+		Name:             "Qwen-2.5-14B",
+		Layers:           48,
+		HiddenDim:        5120,
+		NumHeads:         40,
+		NumKVHeads:       8,
+		HeadDim:          128,
+		IntermediateDim:  13824,
+		ParamCount:       14_770_000_000,
+		ActiveParamCount: 14_770_000_000,
+		BytesPerParam:    2,
+		GPUsPerInstance:  1,
+	}
+}
+
+// Qwen25_72B returns Qwen-2.5-72B served with TP=4 on four 80 GB GPUs.
+func Qwen25_72B() *Config {
+	return &Config{
+		Name:             "Qwen-2.5-72B",
+		Layers:           80,
+		HiddenDim:        8192,
+		NumHeads:         64,
+		NumKVHeads:       8,
+		HeadDim:          128,
+		IntermediateDim:  29568,
+		ParamCount:       72_700_000_000,
+		ActiveParamCount: 72_700_000_000,
+		BytesPerParam:    2,
+		GPUsPerInstance:  4,
+	}
+}
+
+// Llama31_405B returns Llama-3.1-405B served with TP=8 x PP=2 on sixteen
+// 80 GB GPUs.
+func Llama31_405B() *Config {
+	return &Config{
+		Name:             "Llama-3.1-405B",
+		Layers:           126,
+		HiddenDim:        16384,
+		NumHeads:         128,
+		NumKVHeads:       8,
+		HeadDim:          128,
+		IntermediateDim:  53248,
+		ParamCount:       405_850_000_000,
+		ActiveParamCount: 405_850_000_000,
+		BytesPerParam:    2,
+		GPUsPerInstance:  16,
+	}
+}
+
+// Qwen3_235B returns Qwen-3-235B (MoE, 22B active) with EP degree 8 on
+// eight 80 GB GPUs. The per-instance parameter bytes follow Table 1: EP
+// replicates the ~27 GB of non-expert weights on all eight ranks.
+func Qwen3_235B() *Config {
+	return &Config{
+		Name:             "Qwen-3-235B",
+		Layers:           94,
+		HiddenDim:        4096,
+		NumHeads:         64,
+		NumKVHeads:       4,
+		HeadDim:          128,
+		IntermediateDim:  1536,
+		ParamCount:       235_000_000_000,
+		ActiveParamCount: 22_000_000_000,
+		BytesPerParam:    2,
+		GPUsPerInstance:  8,
+		// Table 1 reports 479 GB per instance under EP-8.
+		InstanceParamBytesOverride: 479 * GiB,
+	}
+}
+
+// DeepSeekV3_671B returns DeepSeek-V3-671B (MoE, 37B active, MLA attention)
+// with EP degree 32 on thirty-two 80 GB GPUs.
+func DeepSeekV3_671B() *Config {
+	return &Config{
+		Name:             "DeepSeek-V3-671B",
+		Layers:           61,
+		HiddenDim:        7168,
+		NumHeads:         128,
+		NumKVHeads:       128, // MLA; KV size overridden below
+		HeadDim:          128,
+		IntermediateDim:  2048,
+		ParamCount:       671_000_000_000,
+		ActiveParamCount: 37_000_000_000,
+		BytesPerParam:    2,
+		GPUsPerInstance:  32,
+		// Table 1 reports 1,572 GB per instance under EP-32.
+		InstanceParamBytesOverride: 1572 * GiB,
+		// MLA caches a 512-dim latent + 64-dim rope key per token/layer.
+		KVBytesPerTokenOverride: (512 + 64) * 61 * 2,
+	}
+}
+
+// Table1 returns the five deployments in the paper's row order.
+func Table1() []*Config {
+	return []*Config{
+		Qwen25_14B(),
+		Qwen25_72B(),
+		Llama31_405B(),
+		Qwen3_235B(),
+		DeepSeekV3_671B(),
+	}
+}
+
+// ByName looks a zoo model up by its Table 1 name; it returns nil when the
+// name is unknown.
+func ByName(name string) *Config {
+	for _, c := range Table1() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

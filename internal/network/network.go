@@ -1,0 +1,258 @@
+// Package network models the scale-out fabric between serving instances
+// (200/400 Gbps RDMA in Table 2).
+//
+// Contention in the paper happens at an instance's NIC: pipeline activation
+// forwarding (small, latency-critical) competes with bulk KVCache exchange
+// and parameter restoration (large, throughput-bound). Each instance
+// therefore owns one egress Link modelled as a non-preemptive bandwidth
+// resource with strict priority classes. Because an in-flight transfer
+// cannot be preempted, bulk senders must chunk their traffic — exactly the
+// coordinated-exchange design of §4.2: chunk sizes are picked so one chunk
+// takes about a pipeline-stage time, and a pending activation transfer then
+// waits at most one chunk.
+package network
+
+import (
+	"fmt"
+
+	"kunserve/internal/sim"
+)
+
+// Priority orders transfer classes; lower value preempts queue order.
+type Priority int
+
+const (
+	// PriorityActivation is pipeline activation forwarding (§4.2: "the
+	// activation transfer is more critical and its usage is small").
+	PriorityActivation Priority = iota
+	// PriorityParameter is parameter restoration traffic (§4.4),
+	// prioritized below activations but above bulk KVCache.
+	PriorityParameter
+	// PriorityBulk is KVCache exchange/migration/swap traffic.
+	PriorityBulk
+	numPriorities
+)
+
+// Transfer is one queued send.
+type transfer struct {
+	bytes int64
+	label string
+	done  func()
+}
+
+// Link is a unidirectional bandwidth resource (one instance's NIC egress).
+type Link struct {
+	simu      *sim.Simulation
+	name      string
+	bandwidth float64 // bytes per second
+	latency   sim.Duration
+	queues    [numPriorities][]*transfer
+	busy      bool
+
+	// Stats.
+	bytesSent  int64
+	busySince  sim.Time
+	busyTotal  sim.Duration
+	sendsByPri [numPriorities]int64
+}
+
+// NewLink creates a link with the given bandwidth (bytes/s) and fixed
+// per-transfer latency (propagation + rendezvous).
+func NewLink(s *sim.Simulation, name string, bandwidthBps float64, latency sim.Duration) *Link {
+	if bandwidthBps <= 0 {
+		panic(fmt.Sprintf("network: bandwidth %v", bandwidthBps))
+	}
+	return &Link{simu: s, name: name, bandwidth: bandwidthBps, latency: latency}
+}
+
+// Name returns the link's identifier.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth returns bytes/s.
+func (l *Link) Bandwidth() float64 { return l.bandwidth }
+
+// TransferTime returns the serialization+latency time for a payload.
+func (l *Link) TransferTime(bytes int64) sim.Duration {
+	return l.latency + sim.DurationFromSeconds(float64(bytes)/l.bandwidth)
+}
+
+// Busy reports whether a transfer is in flight.
+func (l *Link) Busy() bool { return l.busy }
+
+// QueueLen returns the number of waiting transfers in the class.
+func (l *Link) QueueLen(p Priority) int { return len(l.queues[p]) }
+
+// BytesSent returns total payload bytes completed.
+func (l *Link) BytesSent() int64 { return l.bytesSent }
+
+// BusyTime returns cumulative time the link spent transferring.
+func (l *Link) BusyTime() sim.Duration {
+	if l.busy {
+		return l.busyTotal + l.simu.Now().Sub(l.busySince)
+	}
+	return l.busyTotal
+}
+
+// Sends returns the number of completed transfers in the class.
+func (l *Link) Sends(p Priority) int64 { return l.sendsByPri[p] }
+
+// Send enqueues a transfer; done runs when the last byte arrives. Zero-byte
+// sends complete after the link latency only (they still serialize).
+func (l *Link) Send(bytes int64, pri Priority, label string, done func()) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("network: negative send %d", bytes))
+	}
+	if pri < 0 || pri >= numPriorities {
+		panic(fmt.Sprintf("network: priority %d", pri))
+	}
+	l.queues[pri] = append(l.queues[pri], &transfer{bytes: bytes, label: label, done: done})
+	l.pump()
+}
+
+func (l *Link) pump() {
+	if l.busy {
+		return
+	}
+	var tr *transfer
+	var pri Priority
+	for p := Priority(0); p < numPriorities; p++ {
+		if len(l.queues[p]) > 0 {
+			tr = l.queues[p][0]
+			l.queues[p] = l.queues[p][1:]
+			pri = p
+			break
+		}
+	}
+	if tr == nil {
+		return
+	}
+	l.busy = true
+	l.busySince = l.simu.Now()
+	d := l.TransferTime(tr.bytes)
+	l.simu.After(d, "net:"+tr.label, func() {
+		l.busy = false
+		l.busyTotal += l.simu.Now().Sub(l.busySince)
+		l.bytesSent += tr.bytes
+		l.sendsByPri[pri]++
+		if tr.done != nil {
+			tr.done()
+		}
+		l.pump()
+	})
+}
+
+// BulkTransfer is a pausable chunked send used for KVCache exchange and
+// parameter restoration. Each chunk is a separate link transfer, so
+// higher-priority traffic interleaves between chunks — the coordinated
+// transfer of §4.2.
+type BulkTransfer struct {
+	link      *Link
+	remaining int64
+	chunk     int64
+	pri       Priority
+	label     string
+	done      func()
+	paused    bool
+	inflight  bool
+	cancelled bool
+}
+
+// SendChunked starts a chunked bulk transfer of totalBytes in chunkBytes
+// pieces. done fires once after the final chunk. The returned handle can
+// pause/resume the stream (used when the exchange engine detects imminent
+// activation transfers) or cancel it.
+func (l *Link) SendChunked(totalBytes, chunkBytes int64, pri Priority, label string, done func()) *BulkTransfer {
+	if chunkBytes <= 0 {
+		panic(fmt.Sprintf("network: chunk size %d", chunkBytes))
+	}
+	bt := &BulkTransfer{
+		link: l, remaining: totalBytes, chunk: chunkBytes,
+		pri: pri, label: label, done: done,
+	}
+	bt.next()
+	return bt
+}
+
+// Remaining returns bytes not yet sent.
+func (bt *BulkTransfer) Remaining() int64 { return bt.remaining }
+
+// Done reports whether the transfer has fully completed.
+func (bt *BulkTransfer) Done() bool { return bt.remaining <= 0 && !bt.inflight }
+
+// Pause stops issuing new chunks after the in-flight one.
+func (bt *BulkTransfer) Pause() { bt.paused = true }
+
+// Resume continues a paused transfer.
+func (bt *BulkTransfer) Resume() {
+	if !bt.paused {
+		return
+	}
+	bt.paused = false
+	if !bt.inflight {
+		bt.next()
+	}
+}
+
+// Cancel abandons the remaining bytes; done never fires.
+func (bt *BulkTransfer) Cancel() { bt.cancelled = true }
+
+func (bt *BulkTransfer) next() {
+	if bt.cancelled || bt.paused || bt.inflight {
+		return
+	}
+	if bt.remaining <= 0 {
+		// Completion always goes through the link (a zero-byte tail
+		// send) so done never fires synchronously inside the caller —
+		// re-entrant completion would let a policy callback interleave
+		// with the scheduling round that started the transfer.
+		if bt.done != nil {
+			d := bt.done
+			bt.done = nil
+			bt.link.Send(0, bt.pri, bt.label+":done", d)
+		}
+		return
+	}
+	n := bt.chunk
+	if n > bt.remaining {
+		n = bt.remaining
+	}
+	bt.inflight = true
+	bt.link.Send(n, bt.pri, bt.label, func() {
+		bt.inflight = false
+		if bt.cancelled {
+			return
+		}
+		bt.remaining -= n
+		bt.next()
+	})
+}
+
+// Fabric is the cluster's scale-out network: one egress link per instance.
+type Fabric struct {
+	simu  *sim.Simulation
+	links []*Link
+}
+
+// NewFabric creates n instance egress links of identical bandwidth/latency.
+func NewFabric(s *sim.Simulation, n int, bandwidthBps float64, latency sim.Duration) *Fabric {
+	f := &Fabric{simu: s}
+	for i := 0; i < n; i++ {
+		f.links = append(f.links, NewLink(s, fmt.Sprintf("egress-%d", i), bandwidthBps, latency))
+	}
+	return f
+}
+
+// Egress returns instance i's egress link.
+func (f *Fabric) Egress(i int) *Link { return f.links[i] }
+
+// Size returns the number of instances.
+func (f *Fabric) Size() int { return len(f.links) }
+
+// RDMA200 is Cluster A's 200 Gbps unidirectional bandwidth in bytes/s.
+const RDMA200 = 200e9 / 8
+
+// RDMA400 is Cluster B's 400 Gbps unidirectional bandwidth in bytes/s.
+const RDMA400 = 400e9 / 8
+
+// DefaultLatency is the per-transfer fixed cost (RDMA rendezvous ~ a few µs).
+const DefaultLatency = 5 * sim.Microsecond

@@ -1,0 +1,187 @@
+// Package pipeline implements pipeline-parallel execution across serving
+// instances after a parameter drop (and for the static vLLM-PP baseline).
+//
+// Execution proceeds in rounds: the group's scheduler forms a set of
+// microbatches, and each microbatch flows through the stages in order —
+// stage s starts microbatch m when (a) the stage is free and (b) m's
+// activations have arrived from stage s-1 over the instance's egress link.
+// Imbalanced microbatch execution times therefore surface as measured stage
+// idle time (Figure 8's bubbles), and activation transfers genuinely
+// contend with bulk KVCache-exchange traffic on the links (§4.2).
+package pipeline
+
+import (
+	"fmt"
+
+	"kunserve/internal/batching"
+	"kunserve/internal/gpu"
+	"kunserve/internal/network"
+	"kunserve/internal/sim"
+)
+
+// Stage is one pipeline stage: a serving instance holding a contiguous
+// slice of the model's layers.
+type Stage struct {
+	// InstanceID identifies the backing instance (for diagnostics).
+	InstanceID int
+	// Timer times microbatches against this stage's partial model.
+	Timer *gpu.Timer
+	// Egress is the instance's NIC link used to forward activations to
+	// the next stage; unused on the last stage.
+	Egress *network.Link
+
+	busy  bool
+	queue []*flight
+
+	busyTotal sim.Duration
+	busySince sim.Time
+}
+
+// BusyTime returns the stage's cumulative execution time.
+func (st *Stage) BusyTime() sim.Duration { return st.busyTotal }
+
+// flight is one microbatch traversing the pipeline.
+type flight struct {
+	items []batching.Item
+	work  []gpu.ChunkWork
+	index int // microbatch index within the round, for deterministic order
+}
+
+// Engine executes rounds over a fixed stage list.
+type Engine struct {
+	simu   *sim.Simulation
+	stages []*Stage
+
+	// ActivationBytesPerToken is the per-token activation payload
+	// forwarded between stages (hidden dim x 2 bytes for BF16).
+	activationBytesPerToken int64
+
+	// OnStageBusy, when set, observes every busy interval (bubble-time
+	// experiments bin these).
+	OnStageBusy func(stage int, from, to sim.Time)
+
+	inFlight  int
+	roundDone func()
+	spanStart sim.Time
+	spanTotal sim.Duration
+	running   bool
+}
+
+// New creates an engine over the given stages.
+func New(s *sim.Simulation, stages []*Stage, activationBytesPerToken int64) *Engine {
+	if len(stages) == 0 {
+		panic("pipeline: no stages")
+	}
+	if activationBytesPerToken <= 0 {
+		panic(fmt.Sprintf("pipeline: activation bytes %d", activationBytesPerToken))
+	}
+	return &Engine{simu: s, stages: stages, activationBytesPerToken: activationBytesPerToken}
+}
+
+// Stages returns the stage count.
+func (e *Engine) Stages() int { return len(e.stages) }
+
+// Stage returns stage i.
+func (e *Engine) Stage(i int) *Stage { return e.stages[i] }
+
+// SpanTime returns cumulative wall time spent inside rounds.
+func (e *Engine) SpanTime() sim.Duration { return e.spanTotal }
+
+// BubbleRatio returns the fraction of stage-time spent idle inside rounds
+// so far: 1 - sum(busy) / (span * stages).
+func (e *Engine) BubbleRatio() float64 {
+	if e.spanTotal <= 0 {
+		return 0
+	}
+	var busy sim.Duration
+	for _, st := range e.stages {
+		busy += st.busyTotal
+	}
+	denom := e.spanTotal.Seconds() * float64(len(e.stages))
+	ratio := 1 - busy.Seconds()/denom
+	if ratio < 0 {
+		ratio = 0
+	}
+	return ratio
+}
+
+// RunRound pipelines the microbatches through all stages and calls done
+// when the last one leaves the last stage. The engine processes one round
+// at a time; overlapping rounds is the caller's bug.
+func (e *Engine) RunRound(microbatches [][]batching.Item, done func()) {
+	if e.running {
+		panic("pipeline: round already running")
+	}
+	var flights []*flight
+	for _, mb := range microbatches {
+		if len(mb) == 0 {
+			continue
+		}
+		flights = append(flights, &flight{
+			items: mb,
+			work:  batching.ToChunkWork(mb),
+			index: len(flights),
+		})
+	}
+	if len(flights) == 0 {
+		done()
+		return
+	}
+	e.running = true
+	e.inFlight = len(flights)
+	e.roundDone = done
+	e.spanStart = e.simu.Now()
+	for _, f := range flights {
+		e.enqueue(0, f)
+	}
+}
+
+func (e *Engine) enqueue(stage int, f *flight) {
+	st := e.stages[stage]
+	st.queue = append(st.queue, f)
+	e.pump(stage)
+}
+
+func (e *Engine) pump(stage int) {
+	st := e.stages[stage]
+	if st.busy || len(st.queue) == 0 {
+		return
+	}
+	f := st.queue[0]
+	st.queue = st.queue[1:]
+	st.busy = true
+	st.busySince = e.simu.Now()
+	d := st.Timer.MicrobatchTime(f.work)
+	e.simu.After(d, fmt.Sprintf("pipeline:stage%d:mb%d", stage, f.index), func() {
+		now := e.simu.Now()
+		st.busy = false
+		st.busyTotal += now.Sub(st.busySince)
+		if e.OnStageBusy != nil {
+			e.OnStageBusy(stage, st.busySince, now)
+		}
+		e.advance(stage, f)
+		e.pump(stage)
+	})
+}
+
+func (e *Engine) advance(stage int, f *flight) {
+	if stage == len(e.stages)-1 {
+		e.inFlight--
+		if e.inFlight == 0 {
+			e.running = false
+			e.spanTotal += e.simu.Now().Sub(e.spanStart)
+			done := e.roundDone
+			e.roundDone = nil
+			done()
+		}
+		return
+	}
+	// Forward activations to the next stage over the NIC. The payload is
+	// proportional to the microbatch's new tokens.
+	bytes := int64(batching.TotalTokens(f.items)) * e.activationBytesPerToken
+	st := e.stages[stage]
+	st.Egress.Send(bytes, network.PriorityActivation,
+		fmt.Sprintf("act:s%d:mb%d", stage, f.index), func() {
+			e.enqueue(stage+1, f)
+		})
+}

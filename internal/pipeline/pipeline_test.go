@@ -1,0 +1,263 @@
+package pipeline
+
+import (
+	"testing"
+
+	"kunserve/internal/batching"
+	"kunserve/internal/gpu"
+	"kunserve/internal/model"
+	"kunserve/internal/network"
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+)
+
+// twoStage builds a 2-stage pipeline of a 14B model split in half, each
+// stage on its own A800 with a 200 Gbps egress link.
+func twoStage(s *sim.Simulation) *Engine {
+	cfg := model.Qwen25_14B()
+	half := cfg.Partial(cfg.Layers / 2)
+	stages := []*Stage{
+		{
+			InstanceID: 0,
+			Timer:      gpu.NewTimer(gpu.A800(), half, 1),
+			Egress:     network.NewLink(s, "e0", network.RDMA200, network.DefaultLatency),
+		},
+		{
+			InstanceID: 1,
+			Timer:      gpu.NewTimer(gpu.A800(), half, 1),
+			Egress:     network.NewLink(s, "e1", network.RDMA200, network.DefaultLatency),
+		},
+	}
+	return New(s, stages, int64(cfg.HiddenDim)*2)
+}
+
+func prefillItems(id, tokens int) []batching.Item {
+	r := request.New(id, 0, tokens, 10)
+	return []batching.Item{{Req: r, IsPrefill: true, Chunk: tokens, Prefix: 0}}
+}
+
+func TestRoundCompletes(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	done := false
+	e.RunRound([][]batching.Item{prefillItems(1, 1024), prefillItems(2, 1024)},
+		func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("round never completed")
+	}
+	if e.Stages() != 2 {
+		t.Fatal("stage count")
+	}
+	if e.SpanTime() <= 0 {
+		t.Fatal("span not recorded")
+	}
+}
+
+// Pipelining overlaps stages: two microbatches through two stages must be
+// faster than serial execution of all stage-times, and slower than one
+// stage's work.
+func TestPipeliningOverlaps(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	mb := 1024
+	stageTime := e.Stage(0).Timer.PrefillTime(0, mb)
+	e.RunRound([][]batching.Item{prefillItems(1, mb), prefillItems(2, mb)}, func() {})
+	s.Run()
+	elapsed := s.Now()
+	// Perfect pipeline: 3 stage-slots (mb1: s0+s1, mb2 overlapped, +1).
+	serial := sim.Time(4 * stageTime)
+	ideal := sim.Time(3 * stageTime)
+	if elapsed >= serial {
+		t.Errorf("elapsed %v >= serial %v: no overlap", elapsed, serial)
+	}
+	if elapsed < ideal {
+		t.Errorf("elapsed %v < ideal %v: impossible", elapsed, ideal)
+	}
+}
+
+// Balanced microbatches yield low bubble ratios; imbalanced ones high —
+// the Figure 8 effect the lookahead former exists to fix.
+func TestImbalanceCreatesBubbles(t *testing.T) {
+	sBal := sim.New(1)
+	eBal := twoStage(sBal)
+	var balanced [][]batching.Item
+	for i := 0; i < 6; i++ {
+		balanced = append(balanced, prefillItems(i, 1024))
+	}
+	eBal.RunRound(balanced, func() {})
+	sBal.Run()
+
+	sImb := sim.New(1)
+	eImb := twoStage(sImb)
+	imbalanced := [][]batching.Item{
+		prefillItems(0, 128), prefillItems(1, 128), prefillItems(2, 128),
+		prefillItems(3, 128), prefillItems(4, 128), prefillItems(5, 5504),
+	}
+	eImb.RunRound(imbalanced, func() {})
+	sImb.Run()
+
+	if eImb.BubbleRatio() <= eBal.BubbleRatio() {
+		t.Errorf("imbalanced bubbles %.2f <= balanced %.2f",
+			eImb.BubbleRatio(), eBal.BubbleRatio())
+	}
+}
+
+func TestEmptyRoundFiresImmediately(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	done := false
+	e.RunRound(nil, func() { done = true })
+	if !done {
+		t.Fatal("empty round must complete synchronously")
+	}
+	e.RunRound([][]batching.Item{{}, {}}, func() { done = true })
+	if !done {
+		t.Fatal("all-empty microbatches must complete synchronously")
+	}
+}
+
+func TestSequentialRounds(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	rounds := 0
+	var runNext func()
+	runNext = func() {
+		rounds++
+		if rounds < 3 {
+			e.RunRound([][]batching.Item{prefillItems(rounds, 512)}, runNext)
+		}
+	}
+	e.RunRound([][]batching.Item{prefillItems(0, 512)}, runNext)
+	s.Run()
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+}
+
+func TestOverlappingRoundsPanic(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	e.RunRound([][]batching.Item{prefillItems(1, 512)}, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping round did not panic")
+		}
+	}()
+	e.RunRound([][]batching.Item{prefillItems(2, 512)}, func() {})
+}
+
+func TestOnStageBusyObserved(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	var intervals int
+	e.OnStageBusy = func(stage int, from, to sim.Time) {
+		if to <= from {
+			t.Error("empty busy interval")
+		}
+		intervals++
+	}
+	e.RunRound([][]batching.Item{prefillItems(1, 512), prefillItems(2, 512)}, func() {})
+	s.Run()
+	// 2 microbatches x 2 stages.
+	if intervals != 4 {
+		t.Fatalf("intervals = %d", intervals)
+	}
+}
+
+func TestBusyTimeAccounted(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	e.RunRound([][]batching.Item{prefillItems(1, 2048)}, func() {})
+	s.Run()
+	want := e.Stage(0).Timer.PrefillTime(0, 2048)
+	if got := e.Stage(0).BusyTime(); got != want {
+		t.Errorf("stage 0 busy %v, want %v", got, want)
+	}
+	// Single microbatch through 2 stages: 50% bubbles by construction.
+	if r := e.BubbleRatio(); r < 0.4 || r > 0.6 {
+		t.Errorf("bubble ratio = %.2f, want ~0.5", r)
+	}
+}
+
+// Activations from a stalled link delay the next stage: the engine must
+// respect network ordering.
+func TestActivationDelayedByLinkContention(t *testing.T) {
+	s := sim.New(1)
+	e := twoStage(s)
+	// Saturate stage 0's egress with a 40 ms bulk transfer just before
+	// the activation is ready.
+	bulk := int64(1e9) // 1 GB over 25 GB/s = 40 ms
+	stage0 := e.Stage(0)
+	actTime := stage0.Timer.PrefillTime(0, 512)
+	s.At(sim.Time(actTime)-sim.Time(sim.Millisecond), "bulk", func() {
+		stage0.Egress.Send(bulk, network.PriorityBulk, "bulk", nil)
+	})
+	e.RunRound([][]batching.Item{prefillItems(1, 512)}, func() {})
+	s.Run()
+	// The activation had to wait ~39 ms behind the bulk transfer.
+	minEnd := sim.Time(actTime) + sim.Time(39*sim.Millisecond)
+	if s.Now() < minEnd {
+		t.Errorf("round finished at %v despite blocked link (want >= %v)", s.Now(), minEnd)
+	}
+}
+
+func TestSingleStageActsAsPlainExecutor(t *testing.T) {
+	s := sim.New(1)
+	cfg := model.Qwen25_14B()
+	st := []*Stage{{
+		InstanceID: 0,
+		Timer:      gpu.NewTimer(gpu.A800(), cfg, 1),
+	}}
+	e := New(s, st, int64(cfg.HiddenDim)*2)
+	done := false
+	e.RunRound([][]batching.Item{prefillItems(1, 1024)}, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("single-stage round")
+	}
+	want := st[0].Timer.PrefillTime(0, 1024)
+	if s.Now() != sim.Time(want) {
+		t.Errorf("elapsed %v, want %v", s.Now(), want)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	s := sim.New(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no stages did not panic")
+			}
+		}()
+		New(s, nil, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero activation bytes did not panic")
+			}
+		}()
+		New(s, []*Stage{{}}, 0)
+	}()
+}
+
+// More microbatches amortize the pipeline drain: bubble ratio decreases
+// monotonically-ish with microbatch count for balanced work.
+func TestMoreMicrobatchesFewerBubbles(t *testing.T) {
+	ratio := func(n int) float64 {
+		s := sim.New(1)
+		e := twoStage(s)
+		var mbs [][]batching.Item
+		for i := 0; i < n; i++ {
+			mbs = append(mbs, prefillItems(i, 1024))
+		}
+		e.RunRound(mbs, func() {})
+		s.Run()
+		return e.BubbleRatio()
+	}
+	r2, r8 := ratio(2), ratio(8)
+	if r8 >= r2 {
+		t.Errorf("bubbles with 8 mbs (%.2f) >= with 2 (%.2f)", r8, r2)
+	}
+}

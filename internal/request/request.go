@@ -1,0 +1,226 @@
+// Package request defines the request lifecycle state machine shared by all
+// serving policies. A request arrives with a prompt (InputLen tokens),
+// emits its first token when prefill completes (TTFT), then decodes one
+// token per iteration until OutputLen tokens have been produced (TPOT).
+// Overload-handling policies move requests through additional states:
+// preempted (KVCache dropped for recompute), swapped (KVCache in host
+// DRAM), migrating (KVCache moving to another instance), and exchanging
+// (KVCache in transit after a parameter drop reshaped the group).
+package request
+
+import (
+	"fmt"
+
+	"kunserve/internal/kvcache"
+	"kunserve/internal/sim"
+)
+
+// State is a request's lifecycle position.
+type State int
+
+// Request states. Transitions are validated by SetState.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateFinished
+	StatePreempted
+	StateSwapped
+	StateMigrating
+	StateExchanging
+)
+
+var stateNames = map[State]string{
+	StateQueued:     "queued",
+	StateRunning:    "running",
+	StateFinished:   "finished",
+	StatePreempted:  "preempted",
+	StateSwapped:    "swapped",
+	StateMigrating:  "migrating",
+	StateExchanging: "exchanging",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// validNext enumerates the legal state transitions.
+var validNext = map[State][]State{
+	StateQueued:    {StateRunning},
+	StateRunning:   {StateFinished, StatePreempted, StateSwapped, StateMigrating, StateExchanging, StateQueued},
+	StatePreempted: {StateRunning, StateQueued},
+	// Swapped/migrating/exchanging requests can be demoted to queued by
+	// failure recovery or reconfiguration (their KVCache is recomputed).
+	StateSwapped:    {StateRunning, StateQueued},
+	StateMigrating:  {StateRunning, StateQueued},
+	StateExchanging: {StateRunning, StateQueued},
+	StateFinished:   {},
+}
+
+// Request tracks one inference request through the serving system.
+type Request struct {
+	ID        int
+	Arrival   sim.Time
+	InputLen  int
+	OutputLen int
+
+	state State
+
+	// PrefilledTokens counts prompt tokens whose KV has been computed in
+	// the current incarnation (chunked prefill advances it stepwise;
+	// preemption resets it).
+	PrefilledTokens int
+
+	// prefillTarget is the prompt length of the current incarnation:
+	// InputLen initially, InputLen + consumed output tokens after a
+	// recompute-preemption.
+	prefillTarget int
+
+	// Generated counts output tokens emitted, including the first.
+	Generated int
+
+	// FirstTokenAt is when the first output token was emitted (TTFT
+	// endpoint); zero until then.
+	FirstTokenAt sim.Time
+
+	// FinishedAt is when the last token was emitted.
+	FinishedAt sim.Time
+
+	// Seq is the GPU KVCache allocation; nil while queued/preempted.
+	Seq *kvcache.Seq
+
+	// GroupID is the serving group currently responsible for the request.
+	GroupID int
+
+	// Preemptions counts recompute-preemptions (vLLM baseline) for
+	// diagnostics.
+	Preemptions int
+}
+
+// New creates a queued request.
+func New(id int, arrival sim.Time, inputLen, outputLen int) *Request {
+	if inputLen <= 0 || outputLen <= 0 {
+		panic(fmt.Sprintf("request %d: lens %d/%d", id, inputLen, outputLen))
+	}
+	return &Request{
+		ID: id, Arrival: arrival, InputLen: inputLen, OutputLen: outputLen,
+		prefillTarget: inputLen,
+		state:         StateQueued,
+	}
+}
+
+// State returns the current lifecycle state.
+func (r *Request) State() State { return r.state }
+
+// SetState transitions the request, panicking on illegal transitions —
+// those are always scheduler bugs, and silent corruption would invalidate
+// experiment results.
+func (r *Request) SetState(next State) {
+	for _, ok := range validNext[r.state] {
+		if next == ok {
+			r.state = next
+			return
+		}
+	}
+	panic(fmt.Sprintf("request %d: illegal transition %v -> %v", r.ID, r.state, next))
+}
+
+// PrefillTarget returns the number of prompt-side tokens that must be
+// prefilled in the current incarnation. After a recompute-preemption the
+// already-consumed output tokens become part of the prompt (they must be
+// re-prefilled to rebuild KV), which is why it exceeds InputLen then.
+func (r *Request) PrefillTarget() int { return r.prefillTarget }
+
+// RemainingPrefill returns prompt tokens not yet prefilled.
+func (r *Request) RemainingPrefill() int {
+	rem := r.PrefillTarget() - r.PrefilledTokens
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// InPrefill reports whether the request still has prompt tokens to chunk.
+func (r *Request) InPrefill() bool { return r.RemainingPrefill() > 0 }
+
+// ContextLen returns the tokens whose KV is live for this request: the
+// prefilled prompt plus tokens generated since (excluding the token being
+// produced this iteration).
+func (r *Request) ContextLen() int {
+	gen := r.Generated
+	if r.Generated > 0 {
+		// Tokens generated after re-prefill (the re-prefilled part is
+		// already inside PrefilledTokens after preemption).
+		gen = r.Generated - (r.PrefillTarget() - r.InputLen) - 1
+		if gen < 0 {
+			gen = 0
+		}
+	}
+	return r.PrefilledTokens + gen
+}
+
+// TotalTokens returns the KV footprint in tokens when the request is fully
+// processed: prompt plus all but the final generated token.
+func (r *Request) TotalTokens() int { return r.InputLen + r.OutputLen - 1 }
+
+// RemainingOutput returns output tokens still to be generated.
+func (r *Request) RemainingOutput() int {
+	rem := r.OutputLen - r.Generated
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Done reports whether all output tokens have been emitted.
+func (r *Request) Done() bool { return r.Generated >= r.OutputLen }
+
+// AdvancePrefill records n prompt tokens prefilled at time now. When the
+// prefill completes, the first output token is emitted: Generated becomes
+// at least 1 and FirstTokenAt is set once.
+func (r *Request) AdvancePrefill(n int, now sim.Time) {
+	if n <= 0 || n > r.RemainingPrefill() {
+		panic(fmt.Sprintf("request %d: AdvancePrefill(%d) with %d remaining",
+			r.ID, n, r.RemainingPrefill()))
+	}
+	r.PrefilledTokens += n
+	if r.RemainingPrefill() == 0 && r.Generated == 0 {
+		// Prefill completion emits the first output token. In a
+		// recompute incarnation (Generated > 0) completion merely
+		// rebuilds the dropped KV; decode resumes next iteration.
+		r.FirstTokenAt = now
+		r.Generated = 1
+		if r.Done() {
+			r.FinishedAt = now
+		}
+	}
+}
+
+// AdvanceDecode records one decode token emitted at time now.
+func (r *Request) AdvanceDecode(now sim.Time) {
+	if r.InPrefill() {
+		panic(fmt.Sprintf("request %d: decode during prefill", r.ID))
+	}
+	if r.Done() {
+		panic(fmt.Sprintf("request %d: decode after done", r.ID))
+	}
+	r.Generated++
+	if r.Done() {
+		r.FinishedAt = now
+	}
+}
+
+// ResetForRecompute drops all prefill progress (the KVCache was dropped)
+// while keeping generated-token credit: the re-prefill must rebuild
+// InputLen + Generated - 1 tokens of KV.
+func (r *Request) ResetForRecompute() {
+	r.PrefilledTokens = 0
+	r.prefillTarget = r.InputLen
+	if r.Generated > 0 {
+		r.prefillTarget = r.InputLen + r.Generated - 1
+	}
+	r.Seq = nil
+	r.Preemptions++
+}

@@ -1,0 +1,303 @@
+package request
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kunserve/internal/sim"
+)
+
+func newReq() *Request { return New(1, sim.FromSeconds(1), 100, 10) }
+
+func TestNewRequest(t *testing.T) {
+	r := newReq()
+	if r.State() != StateQueued {
+		t.Fatal("initial state")
+	}
+	if r.PrefillTarget() != 100 || r.RemainingPrefill() != 100 || !r.InPrefill() {
+		t.Fatal("fresh prefill accounting")
+	}
+	if r.ContextLen() != 0 || r.Done() {
+		t.Fatal("fresh context")
+	}
+	if r.TotalTokens() != 109 {
+		t.Fatalf("TotalTokens = %d", r.TotalTokens())
+	}
+	if r.RemainingOutput() != 10 {
+		t.Fatalf("RemainingOutput = %d", r.RemainingOutput())
+	}
+}
+
+func TestBadLensPanic(t *testing.T) {
+	for _, c := range []struct{ in, out int }{{0, 5}, {5, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.in, c.out)
+				}
+			}()
+			New(1, 0, c.in, c.out)
+		}()
+	}
+}
+
+func TestChunkedPrefillEmitsFirstTokenAtCompletion(t *testing.T) {
+	r := newReq()
+	r.SetState(StateRunning)
+	r.AdvancePrefill(60, sim.FromSeconds(2))
+	if r.Generated != 0 || r.FirstTokenAt != 0 {
+		t.Fatal("token emitted before prefill done")
+	}
+	if r.ContextLen() != 60 {
+		t.Fatalf("ContextLen = %d", r.ContextLen())
+	}
+	r.AdvancePrefill(40, sim.FromSeconds(3))
+	if r.Generated != 1 {
+		t.Fatal("first token not emitted")
+	}
+	if r.FirstTokenAt != sim.FromSeconds(3) {
+		t.Fatal("FirstTokenAt wrong")
+	}
+	if r.ContextLen() != 100 {
+		t.Fatalf("ContextLen after prefill = %d", r.ContextLen())
+	}
+}
+
+func TestDecodeToCompletion(t *testing.T) {
+	r := newReq()
+	r.SetState(StateRunning)
+	r.AdvancePrefill(100, sim.FromSeconds(2))
+	for i := 0; i < 9; i++ {
+		if r.Done() {
+			t.Fatalf("done after %d decodes", i)
+		}
+		r.AdvanceDecode(sim.FromSeconds(3 + float64(i)))
+	}
+	if !r.Done() {
+		t.Fatal("not done after OutputLen tokens")
+	}
+	if r.FinishedAt != sim.FromSeconds(11) {
+		t.Fatalf("FinishedAt = %v", r.FinishedAt)
+	}
+	// Live KV at completion: input + output - 1 consumed tokens.
+	if r.ContextLen() != 109 {
+		t.Fatalf("final ContextLen = %d", r.ContextLen())
+	}
+}
+
+func TestSingleTokenOutputFinishesAtPrefill(t *testing.T) {
+	r := New(2, 0, 50, 1)
+	r.SetState(StateRunning)
+	r.AdvancePrefill(50, sim.FromSeconds(1))
+	if !r.Done() {
+		t.Fatal("single-token request should finish at prefill")
+	}
+	if r.FinishedAt != sim.FromSeconds(1) || r.FirstTokenAt != sim.FromSeconds(1) {
+		t.Fatal("timestamps")
+	}
+}
+
+func TestRecomputeLifecycle(t *testing.T) {
+	r := newReq()
+	r.SetState(StateRunning)
+	r.AdvancePrefill(100, sim.FromSeconds(2))
+	r.AdvanceDecode(sim.FromSeconds(3))
+	r.AdvanceDecode(sim.FromSeconds(4)) // Generated = 3
+	firstToken := r.FirstTokenAt
+
+	r.SetState(StatePreempted)
+	r.ResetForRecompute()
+	if r.Preemptions != 1 {
+		t.Fatal("preemption count")
+	}
+	// Must re-prefill prompt + the 2 consumed output tokens.
+	if got := r.PrefillTarget(); got != 102 {
+		t.Fatalf("PrefillTarget = %d, want 102", got)
+	}
+	if !r.InPrefill() || r.ContextLen() != 0 {
+		t.Fatal("recompute should restart prefill")
+	}
+
+	r.SetState(StateRunning)
+	r.AdvancePrefill(102, sim.FromSeconds(6))
+	// Re-prefill does not emit a new token and never moves FirstTokenAt.
+	if r.Generated != 3 {
+		t.Fatalf("Generated = %d after re-prefill", r.Generated)
+	}
+	if r.FirstTokenAt != firstToken {
+		t.Fatal("FirstTokenAt moved")
+	}
+	if r.ContextLen() != 102 {
+		t.Fatalf("ContextLen = %d after re-prefill", r.ContextLen())
+	}
+	// Decode resumes: 7 more tokens to reach OutputLen = 10.
+	for i := 0; i < 7; i++ {
+		r.AdvanceDecode(sim.FromSeconds(7 + float64(i)))
+	}
+	if !r.Done() {
+		t.Fatal("not done after resume")
+	}
+	if r.ContextLen() != r.TotalTokens() {
+		t.Fatalf("final context %d != total %d", r.ContextLen(), r.TotalTokens())
+	}
+}
+
+func TestAdvancePanics(t *testing.T) {
+	r := newReq()
+	r.SetState(StateRunning)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-prefill did not panic")
+			}
+		}()
+		r.AdvancePrefill(101, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("decode during prefill did not panic")
+			}
+		}()
+		r.AdvanceDecode(0)
+	}()
+	r.AdvancePrefill(100, sim.FromSeconds(1))
+	for i := 0; i < 9; i++ {
+		r.AdvanceDecode(sim.FromSeconds(2))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("decode after done did not panic")
+			}
+		}()
+		r.AdvanceDecode(sim.FromSeconds(3))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-chunk prefill did not panic")
+			}
+		}()
+		newReq().AdvancePrefill(0, 0)
+	}()
+}
+
+func TestStateTransitions(t *testing.T) {
+	legal := [][]State{
+		{StateQueued, StateRunning, StateFinished},
+		{StateQueued, StateRunning, StatePreempted, StateQueued, StateRunning},
+		{StateQueued, StateRunning, StateSwapped, StateRunning},
+		{StateQueued, StateRunning, StateMigrating, StateRunning},
+		{StateQueued, StateRunning, StateExchanging, StateRunning},
+		{StateQueued, StateRunning, StateQueued},
+	}
+	for i, path := range legal {
+		r := newReq()
+		for _, s := range path[1:] {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Errorf("path %d: legal transition to %v panicked: %v", i, s, p)
+					}
+				}()
+				r.SetState(s)
+			}()
+		}
+	}
+	illegal := [][]State{
+		{StateQueued, StateFinished},
+		{StateQueued, StateSwapped},
+		{StateQueued, StateRunning, StateFinished, StateRunning},
+		{StateQueued, StateRunning, StatePreempted, StateFinished},
+	}
+	for i, path := range illegal {
+		r := newReq()
+		panicked := false
+		func() {
+			defer func() { panicked = recover() != nil }()
+			for _, s := range path[1:] {
+				r.SetState(s)
+			}
+		}()
+		if !panicked {
+			t.Errorf("illegal path %d accepted", i)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateQueued.String() != "queued" || StateExchanging.String() != "exchanging" {
+		t.Error("state names")
+	}
+	if !strings.Contains(State(99).String(), "99") {
+		t.Error("unknown state name")
+	}
+}
+
+// Property: under any interleaving of chunked prefill and decode, the
+// context length never exceeds TotalTokens and equals it exactly at Done.
+func TestPropertyLifecycleAccounting(t *testing.T) {
+	f := func(chunkSeed []uint8, in8, out8 uint8) bool {
+		in, out := 1+int(in8), 1+int(out8)
+		r := New(7, 0, in, out)
+		r.SetState(StateRunning)
+		ci := 0
+		now := sim.Time(0)
+		for !r.Done() {
+			now = now.Add(sim.Millisecond)
+			if r.InPrefill() {
+				chunk := 1
+				if len(chunkSeed) > 0 {
+					chunk = 1 + int(chunkSeed[ci%len(chunkSeed)])%r.RemainingPrefill()
+					ci++
+				}
+				r.AdvancePrefill(chunk, now)
+			} else {
+				r.AdvanceDecode(now)
+			}
+			if r.ContextLen() > r.TotalTokens() {
+				return false
+			}
+		}
+		return r.ContextLen() == r.TotalTokens() && r.Generated == out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recompute at any point preserves Generated and ends with the
+// same total token accounting.
+func TestPropertyRecomputeAnywhere(t *testing.T) {
+	f := func(preemptAt8 uint8) bool {
+		r := New(3, 0, 40, 20)
+		r.SetState(StateRunning)
+		r.AdvancePrefill(40, sim.Time(sim.Millisecond))
+		steps := int(preemptAt8) % 18
+		for i := 0; i < steps; i++ {
+			r.AdvanceDecode(sim.Time(i))
+		}
+		gen := r.Generated
+		r.SetState(StatePreempted)
+		r.ResetForRecompute()
+		r.SetState(StateRunning)
+		if r.Generated != gen {
+			return false
+		}
+		for r.InPrefill() {
+			r.AdvancePrefill(7, sim.Time(sim.Second))
+			if r.RemainingPrefill() < 7 && r.RemainingPrefill() > 0 {
+				r.AdvancePrefill(r.RemainingPrefill(), sim.Time(sim.Second))
+			}
+		}
+		for !r.Done() {
+			r.AdvanceDecode(sim.Time(sim.Second))
+		}
+		return r.ContextLen() == r.TotalTokens()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback. The callback runs with the simulation clock
+// set to the event's firing time.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index, -1 when not queued
+	fn     func()
+	label  string
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulation is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; the entire simulated world runs on one goroutine.
+type Simulation struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts events that have fired (for diagnostics and the
+	// kernel throughput benchmark).
+	Processed uint64
+}
+
+// New creates a simulation with a deterministic RNG derived from seed.
+func New(seed int64) *Simulation {
+	return &Simulation{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Rand returns the simulation-owned RNG. All stochastic decisions inside the
+// simulated world must use this generator so runs are reproducible.
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at time t. Scheduling in the past panics: that is
+// always a logic error in a discrete-event model.
+func (s *Simulation) At(t Time, label string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, label: label}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulation) After(d Duration, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return s.At(s.now.Add(d), label, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Simulation) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Stop halts the run loop after the current event completes.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Step fires the next event, advancing the clock. It returns false when the
+// queue is empty or the simulation was stopped.
+func (s *Simulation) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.at < s.now {
+		panic("sim: time went backwards")
+	}
+	s.now = e.at
+	s.Processed++
+	e.fn()
+	return true
+}
+
+// Run processes events until the queue drains or Stop is called.
+func (s *Simulation) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events with firing time <= deadline. The clock is left
+// at the later of its current value and the deadline.
+func (s *Simulation) RunUntil(deadline Time) {
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var zero Time
+	tm := zero.Add(1500 * Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", tm.Seconds())
+	}
+	if d := tm.Sub(zero); d != 1500*time.Millisecond {
+		t.Fatalf("Sub = %v", d)
+	}
+	if !zero.Before(tm) || !tm.After(zero) {
+		t.Fatal("ordering broken")
+	}
+	if got := FromSeconds(2.5); got != Time(2500*Millisecond) {
+		t.Fatalf("FromSeconds = %v", got)
+	}
+	if got := DurationFromSeconds(0.25); got != 250*Millisecond {
+		t.Fatalf("DurationFromSeconds = %v", got)
+	}
+	if s := Time(1234 * Millisecond).String(); s != "1.234s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(FromSeconds(3), "c", func() { order = append(order, 3) })
+	s.At(FromSeconds(1), "a", func() { order = append(order, 1) })
+	s.At(FromSeconds(2), "b", func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != FromSeconds(3) {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(FromSeconds(1), "e", func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break broke insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New(1)
+	var fired Time
+	s.After(100*Millisecond, "outer", func() {
+		s.After(50*Millisecond, "inner", func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != FromSeconds(0.15) {
+		t.Fatalf("fired at %v, want 0.150s", fired)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(time.Second, "x", func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false")
+	}
+	// Double-cancel and cancel-after-run are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New(1)
+	var got []string
+	a := s.At(FromSeconds(1), "a", func() { got = append(got, "a") })
+	s.At(FromSeconds(2), "b", func() { got = append(got, "b") })
+	s.At(FromSeconds(3), "c", func() { got = append(got, "c") })
+	s.Cancel(a)
+	s.Run()
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	n := 0
+	for i := 1; i <= 5; i++ {
+		s.At(FromSeconds(float64(i)), "e", func() {
+			n++
+			if n == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if n != 2 {
+		t.Fatalf("processed %d events, want 2", n)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.At(FromSeconds(1), "a", func() { fired++ })
+	s.At(FromSeconds(5), "b", func() { fired++ })
+	s.RunUntil(FromSeconds(2))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != FromSeconds(2) {
+		t.Fatalf("clock = %v, want 2s", s.Now())
+	}
+	s.RunUntil(FromSeconds(10))
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(FromSeconds(1), "a", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(FromSeconds(0.5), "past", func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-time.Second, "neg", func() {})
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.After(Duration(i)*Millisecond, "e", func() {})
+	}
+	s.Run()
+	if s.Processed != 7 {
+		t.Fatalf("Processed = %d, want 7", s.Processed)
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and the clock ends at the max offset.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		s := New(7)
+		var fireTimes []Time
+		var max Time
+		for _, off := range offsets {
+			d := Duration(off) * Microsecond
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			s.At(at, "p", func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved schedule/cancel sequences never fire cancelled
+// events and always fire non-cancelled ones.
+func TestPropertyCancelSoundness(t *testing.T) {
+	f := func(cancelMask []bool) bool {
+		s := New(3)
+		fired := make([]bool, len(cancelMask))
+		events := make([]*Event, len(cancelMask))
+		for i := range cancelMask {
+			i := i
+			events[i] = s.After(Duration(i+1)*Millisecond, "p", func() { fired[i] = true })
+		}
+		for i, c := range cancelMask {
+			if c {
+				s.Cancel(events[i])
+			}
+		}
+		s.Run()
+		for i, c := range cancelMask {
+			if c == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
