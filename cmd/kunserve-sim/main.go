@@ -5,7 +5,13 @@
 //
 //	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig14|fig15|fig16|fig17|all \
 //	    [-scale quick|full|clusterb] [-dataset burstgpt|sharegpt|longbench] \
-//	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT]
+//	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT] \
+//	    [-spec workload.json]
+//
+// -spec drives the experiments' trace from a declarative workload spec
+// (multi-client mixes, gamma/weibull/diurnal/mmpp arrivals, trace replay;
+// see internal/workload/spec and examples/specs/) instead of the default
+// BurstGPT burst schedule.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"kunserve/internal/experiments"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
+	"kunserve/internal/workload/spec"
 )
 
 func main() {
@@ -27,6 +34,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "override RNG seed")
 		duration  = flag.Float64("duration", 0, "override trace duration in seconds")
 		load      = flag.Float64("load", 0, "load multiplier on the derived base RPS")
+		specFile  = flag.String("spec", "", "workload spec JSON driving the experiment trace")
 	)
 	flag.Parse()
 
@@ -60,6 +68,27 @@ func main() {
 	}
 	if *load > 0 {
 		cfg.LoadMultiplier = *load
+	}
+	if *specFile != "" {
+		// The spec's own seed, duration, and rates govern the trace;
+		// -seed still seeds the cluster and -load still scales KV
+		// provisioning, but neither reshapes the spec trace.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed", "duration", "load":
+				fmt.Fprintf(os.Stderr, "note: -%s does not affect the -spec trace (the spec's seed/duration/rates govern it)\n", f.Name)
+			}
+		})
+		s, err := spec.Load(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.WorkloadSpec = s
+		switch *exp {
+		case "fig16", "table1", "all":
+			fmt.Fprintln(os.Stderr, "note: fig16 and table1 build their own workloads and ignore -spec")
+		}
 	}
 
 	if err := run(*exp, cfg); err != nil {

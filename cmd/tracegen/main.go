@@ -6,6 +6,25 @@
 //
 //	tracegen -dataset sharegpt -duration 128 -rps 10 -schedule burst \
 //	    -upscale 2.5 -seed 42 -o trace.csv
+//	tracegen -arrival gamma -cv 3.5 -rps 10 -duration 300 -o bursty.csv
+//	tracegen -spec examples/specs/two_client.json -o mix.csv
+//
+// Three mutually layered modes:
+//
+//   - -schedule burst|longrun|steady (default): the paper's
+//     piecewise-constant Poisson schedules.
+//   - -arrival poisson|gamma|weibull|diurnal|mmpp: a constant-mean-rate
+//     pluggable arrival process; -cv sets the gamma coefficient of
+//     variation, -shape the weibull shape, -amplitude/-period the diurnal
+//     swing and cycle. Overrides -schedule.
+//   - -spec file.json: a declarative multi-client workload spec (overrides
+//     everything else). The JSON spec carries name, seed, duration_s,
+//     total_rps, and a clients array; each client has a rate_fraction, an
+//     arrival object ({"process": "gamma", "cv": 3.5}, etc.), a dataset
+//     name or explicit input/output log-normal length distributions, an
+//     optional slo_class tag, or a trace_file to replay a recorded CSV
+//     (optionally upscaled). See internal/workload/spec and
+//     examples/specs/ for the full reference.
 package main
 
 import (
@@ -15,38 +34,34 @@ import (
 
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
+	"kunserve/internal/workload/arrival"
+	"kunserve/internal/workload/spec"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "burstgpt", "burstgpt, sharegpt or longbench")
-		duration = flag.Float64("duration", 128, "trace duration in seconds")
-		rps      = flag.Float64("rps", 10, "base request rate")
-		schedule = flag.String("schedule", "burst", "burst, longrun or steady")
-		upscale  = flag.Float64("upscale", 1, "TraceUpscaler-style rate multiplier")
-		seed     = flag.Int64("seed", 42, "RNG seed")
-		out      = flag.String("o", "", "output file (default stdout)")
+		dataset   = flag.String("dataset", "burstgpt", "burstgpt, sharegpt or longbench")
+		duration  = flag.Float64("duration", 128, "trace duration in seconds")
+		rps       = flag.Float64("rps", 10, "base request rate")
+		schedule  = flag.String("schedule", "burst", "burst, longrun or steady")
+		arrivalF  = flag.String("arrival", "", "arrival process: poisson, gamma, weibull, diurnal or mmpp (overrides -schedule)")
+		cv        = flag.Float64("cv", 1, "gamma inter-arrival coefficient of variation")
+		shape     = flag.Float64("shape", 1, "weibull shape (<1 bursty, >1 regular)")
+		amplitude = flag.Float64("amplitude", 0.5, "diurnal relative swing in [0,1]")
+		period    = flag.Float64("period", 0, "diurnal cycle length in seconds (default: duration)")
+		specFile  = flag.String("spec", "", "workload spec JSON (overrides all generation flags)")
+		upscale   = flag.Float64("upscale", 1, "TraceUpscaler-style rate multiplier")
+		seed      = flag.Int64("seed", 42, "RNG seed")
+		out       = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
-	ds, err := workload.DatasetByName(*dataset)
+	tr, err := buildTrace(*specFile, *dataset, *schedule, *arrivalF,
+		*duration, *rps, *cv, *shape, *amplitude, *period, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	d := sim.DurationFromSeconds(*duration)
-	var sched []workload.RateSegment
-	switch *schedule {
-	case "burst":
-		sched = workload.ScaledBurstSchedule(*rps, d)
-	case "longrun":
-		sched = workload.ScaledLongRunSchedule(*rps, d)
-	case "steady":
-		sched = workload.SteadySchedule(*rps)
-	default:
-		fatal(fmt.Errorf("unknown -schedule %q", *schedule))
-	}
-	tr := workload.Generate(*seed, d, sched, ds)
-	if *upscale != 1 {
+	if *upscale != 1 && *specFile == "" {
 		tr = workload.Upscale(tr, *upscale, *seed+1)
 	}
 
@@ -65,6 +80,72 @@ func main() {
 	in, outLen := tr.MeanLens()
 	fmt.Fprintf(os.Stderr, "%d requests over %v (avg %.1f req/s, mean in/out %.0f/%.0f tokens)\n",
 		len(tr.Requests), tr.Duration(), tr.AvgRPS(), in, outLen)
+}
+
+func buildTrace(specFile, dataset, schedule, arrivalName string,
+	duration, rps, cv, shape, amplitude, period float64, seed int64) (*workload.Trace, error) {
+	if specFile != "" {
+		s, err := spec.Load(specFile)
+		if err != nil {
+			return nil, err
+		}
+		return s.Compile()
+	}
+
+	ds, err := workload.DatasetByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	d := sim.DurationFromSeconds(duration)
+
+	if arrivalName != "" {
+		proc, err := buildProcess(arrivalName, rps, cv, shape, amplitude, period, d)
+		if err != nil {
+			return nil, err
+		}
+		return workload.GenerateProcess(seed, d, proc, ds), nil
+	}
+
+	var sched []workload.RateSegment
+	switch schedule {
+	case "burst":
+		sched = workload.ScaledBurstSchedule(rps, d)
+	case "longrun":
+		sched = workload.ScaledLongRunSchedule(rps, d)
+	case "steady":
+		sched = workload.SteadySchedule(rps)
+	default:
+		return nil, fmt.Errorf("unknown -schedule %q", schedule)
+	}
+	return workload.Generate(seed, d, sched, ds), nil
+}
+
+// buildProcess maps the CLI flags onto the spec layer's shared arrival
+// constructor so flag and spec behavior cannot diverge.
+func buildProcess(name string, rps, cv, shape, amplitude, period float64,
+	duration sim.Duration) (arrival.Process, error) {
+	// The spec layer treats zero CV/shape as "use the default"; flags are
+	// always explicit, so reject zeros here instead of silently defaulting.
+	if name == "gamma" && cv <= 0 {
+		return nil, fmt.Errorf("-cv must be positive, got %v", cv)
+	}
+	if name == "weibull" && shape <= 0 {
+		return nil, fmt.Errorf("-shape must be positive, got %v", shape)
+	}
+	a := spec.Arrival{Process: name, CV: cv, Shape: shape, Amplitude: &amplitude, PeriodS: period}
+	if name == "mmpp" {
+		// A calm/hot two-state default mirroring the §5.1 burst ratio,
+		// with random burst onsets instead of fixed times.
+		a.States = []spec.MMPPState{
+			{RateMultiplier: 1, MeanSojournS: duration.Seconds() / 4},
+			{RateMultiplier: 2.1, MeanSojournS: duration.Seconds() / 8},
+		}
+	}
+	proc, err := a.Build(rps, duration)
+	if err != nil {
+		return nil, fmt.Errorf("-arrival %s: %w", name, err)
+	}
+	return proc, nil
 }
 
 func fatal(err error) {

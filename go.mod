@@ -1,0 +1,3 @@
+module kunserve
+
+go 1.24

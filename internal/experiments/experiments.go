@@ -19,6 +19,7 @@ import (
 	"kunserve/internal/model"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
+	"kunserve/internal/workload/spec"
 )
 
 // System identifies one evaluated serving system.
@@ -79,6 +80,12 @@ type Config struct {
 	LoadMultiplier float64
 	// Dataset selects request lengths.
 	Dataset workload.Dataset
+	// WorkloadSpec, when set, replaces the default BurstGPT schedule in
+	// BuildTrace with a compiled declarative workload spec (multi-client
+	// mixes, alternative arrival processes, trace replay). The spec's own
+	// seed and duration govern trace generation; experiments that build
+	// bespoke traces (Figure 16's long run) ignore it.
+	WorkloadSpec *spec.Spec
 	// HorizonSlack extends the simulation past the trace end so queued
 	// work drains.
 	HorizonSlack sim.Duration
@@ -147,14 +154,30 @@ func (c Config) defaultRPS() float64 {
 // provisioned for KVCache is 2.1x higher than the average requirement"):
 // the per-instance KV region is sized at ProvisionFactor times the
 // workload's average live KV, so bursts overload memory the way the
-// evaluation's testbed does. Returns 0 (provision everything) when the
-// rule would exceed the available region anyway.
+// evaluation's testbed does.
 func (c Config) kvProvision() int64 {
 	in, out := c.datasetStats()
+	return c.provisionFromStats(c.BaseRPS, in, out)
+}
+
+// kvProvisionFor sizes provisioning against the trace actually served.
+// Spec-driven workloads carry their own rates and length mixes, so the
+// capacity-planning inputs come from the compiled trace rather than the
+// config's derived BaseRPS/dataset (which describe the default burst
+// workload the spec replaced).
+func (c Config) kvProvisionFor(tr *workload.Trace) int64 {
+	if c.WorkloadSpec == nil {
+		return c.kvProvision()
+	}
+	in, out := tr.MeanLens()
+	return c.provisionFromStats(tr.AvgRPS(), in, out)
+}
+
+func (c Config) provisionFromStats(rps, in, out float64) int64 {
 	// Average live KV per instance via Little's law: arrival rate x
 	// residence x mean live context. Residence ≈ decode phase at the
 	// typical loaded TPOT plus prefill/queue slack.
-	perInstanceRPS := c.BaseRPS / float64(c.Instances)
+	perInstanceRPS := rps / float64(c.Instances)
 	// Residence at the *unloaded* TPOT (~30 ms/token): provisioning is a
 	// capacity-planning decision made against healthy-state telemetry.
 	residence := out*0.03 + 0.3
@@ -200,12 +223,16 @@ func ClusterB() Config {
 	}
 }
 
-// BuildTrace generates the experiment's trace: BurstGPT arrivals scaled to
-// the config with the configured dataset's lengths.
-func (c Config) BuildTrace() *workload.Trace {
+// BuildTrace generates the experiment's trace: the compiled workload spec
+// when one is configured, otherwise BurstGPT arrivals scaled to the config
+// with the configured dataset's lengths.
+func (c Config) BuildTrace() (*workload.Trace, error) {
 	cfg := c.withDefaults()
+	if cfg.WorkloadSpec != nil {
+		return cfg.WorkloadSpec.Compile()
+	}
 	return workload.Generate(cfg.Seed, cfg.Duration,
-		workload.ScaledBurstSchedule(cfg.BaseRPS, cfg.Duration), cfg.Dataset)
+		workload.ScaledBurstSchedule(cfg.BaseRPS, cfg.Duration), cfg.Dataset), nil
 }
 
 // Run serves the trace on a fresh cluster under the given system and
@@ -218,7 +245,7 @@ func (c Config) Run(s System, tr *workload.Trace) (*cluster.Cluster, error) {
 		GPU:              cfg.GPU,
 		Instances:        cfg.Instances,
 		NetBandwidth:     cfg.NetBandwidth,
-		KVProvisionBytes: cfg.kvProvision(),
+		KVProvisionBytes: cfg.kvProvisionFor(tr),
 		Policy:           NewPolicy(s),
 	})
 	if err != nil {
@@ -238,7 +265,7 @@ func (c Config) RunPolicy(pol cluster.Policy, tr *workload.Trace) (*cluster.Clus
 		GPU:              cfg.GPU,
 		Instances:        cfg.Instances,
 		NetBandwidth:     cfg.NetBandwidth,
-		KVProvisionBytes: cfg.kvProvision(),
+		KVProvisionBytes: cfg.kvProvisionFor(tr),
 		Policy:           pol,
 	})
 	if err != nil {

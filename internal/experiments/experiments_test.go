@@ -3,10 +3,12 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
+	"kunserve/internal/workload/spec"
 )
 
 func TestTable1MatchesPaper(t *testing.T) {
@@ -321,6 +323,56 @@ func TestConfigDefaults(t *testing.T) {
 	bg := Config{Dataset: workload.BurstGPTDataset()}.withDefaults()
 	if lb.BaseRPS >= bg.BaseRPS {
 		t.Error("LongBench RPS should be lower than BurstGPT's")
+	}
+}
+
+// A workload spec replaces the default burst trace end to end: the
+// compiled trace carries the spec's clients and an experiment runs on it.
+func TestConfigWithWorkloadSpec(t *testing.T) {
+	js := `{
+	  "name": "mix", "seed": 7, "duration_s": 32, "total_rps": 6,
+	  "clients": [
+	    {"name": "interactive", "rate_fraction": 0.7, "slo_class": "strict",
+	     "arrival": {"process": "gamma", "cv": 2.0}, "dataset": "burstgpt"},
+	    {"name": "batch", "rate_fraction": 0.3,
+	     "arrival": {"process": "poisson"}, "dataset": "burstgpt"}
+	  ]
+	}`
+	s, err := spec.Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Quick()
+	cfg.WorkloadSpec = s
+	tr, err := cfg.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "mix" {
+		t.Errorf("trace name %q, want spec name", tr.Name)
+	}
+	clients := map[string]bool{}
+	for _, r := range tr.Requests {
+		clients[r.Client] = true
+	}
+	if !clients["interactive"] || !clients["batch"] {
+		t.Fatalf("spec clients missing from trace: %v", clients)
+	}
+	cl, err := cfg.Run(SysKunServe, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Collector.TTFT.Count() == 0 {
+		t.Error("spec-driven run finished no requests")
+	}
+	// Without a spec the default burst trace is unchanged.
+	cfg.WorkloadSpec = nil
+	def, err := cfg.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "burstgpt" || len(def.Requests) == 0 {
+		t.Error("default trace changed")
 	}
 }
 

@@ -46,7 +46,10 @@ type Figure12Result struct {
 // Figure 13 both consume its output.
 func RunAllSystems(cfg Config) (*Figure12Result, error) {
 	cfg = cfg.withDefaults()
-	tr := cfg.BuildTrace()
+	tr, err := cfg.BuildTrace()
+	if err != nil {
+		return nil, err
+	}
 	res := &Figure12Result{
 		Workload: fmt.Sprintf("%s x %s", tr.Name, cfg.Model.Name),
 		Window:   4 * sim.Second,

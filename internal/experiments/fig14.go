@@ -32,7 +32,10 @@ func Figure14(cfg Config) ([]Figure14Row, error) {
 		cfg.BaseRPS = 0 // re-derive for the dataset
 		cfg = cfg.withDefaults()
 	}
-	tr := cfg.BuildTrace()
+	tr, err := cfg.BuildTrace()
+	if err != nil {
+		return nil, err
+	}
 
 	rungs := []struct {
 		label string

@@ -41,10 +41,19 @@ type Figure17Result struct {
 // of memory, comparing vLLM (DP) against KunServe.
 func Figure17(cfg Config) (*Figure17Result, error) {
 	cfg = cfg.withDefaults()
-	base := cfg.BuildTrace()
+	base, err := cfg.BuildTrace()
+	if err != nil {
+		return nil, err
+	}
 	// Replay the burst window several times so the load never relaxes.
-	burstStart := sim.FromSeconds(45.0 / 128 * cfg.Duration.Seconds())
-	burstEnd := sim.FromSeconds(75.0 / 128 * cfg.Duration.Seconds())
+	// Spec-driven traces set their own duration, so anchor the window
+	// fractions to the trace actually built rather than cfg.Duration.
+	dur := cfg.Duration.Seconds()
+	if cfg.WorkloadSpec != nil {
+		dur = base.Duration().Seconds()
+	}
+	burstStart := sim.FromSeconds(45.0 / 128 * dur)
+	burstEnd := sim.FromSeconds(75.0 / 128 * dur)
 	tr := workload.RepeatBurst(base, burstStart, burstEnd, 4)
 
 	res := &Figure17Result{Window: 4 * sim.Second}

@@ -30,7 +30,10 @@ type Figure2Result struct {
 // Figure2 runs the three mechanisms on the same burst.
 func Figure2(cfg Config) (*Figure2Result, error) {
 	cfg = cfg.withDefaults()
-	tr := cfg.BuildTrace()
+	tr, err := cfg.BuildTrace()
+	if err != nil {
+		return nil, err
+	}
 	res := &Figure2Result{
 		Window:      4 * sim.Second,
 		RPS:         tr.RPSSeries(4 * sim.Second),

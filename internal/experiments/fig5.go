@@ -26,7 +26,10 @@ type Figure5Row struct {
 // motivation for minimizing pipeline depth in the drop planner.
 func Figure5(cfg Config) ([]Figure5Row, error) {
 	cfg = cfg.withDefaults()
-	tr := cfg.BuildTrace()
+	tr, err := cfg.BuildTrace()
+	if err != nil {
+		return nil, err
+	}
 	type setup struct {
 		label   string
 		dropPct float64

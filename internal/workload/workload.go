@@ -5,6 +5,11 @@
 // three evaluated datasets (BurstGPT, ShareGPT, LongBench). A
 // TraceUpscaler-style rescaler scales RPS while preserving the temporal
 // pattern, which is how the paper fits the trace to testbed capacity.
+//
+// Arrivals are produced by pluggable processes from the arrival subpackage
+// (Poisson, Gamma, Weibull, Diurnal, MMPP); the piecewise-constant burst
+// schedules below are Poisson processes over a rate schedule. Multi-client
+// traffic mixes are described declaratively by the spec subpackage.
 package workload
 
 import (
@@ -17,15 +22,20 @@ import (
 	"strconv"
 
 	"kunserve/internal/sim"
+	"kunserve/internal/workload/arrival"
 )
 
 // Request is one trace entry: a prompt of InputLen tokens arriving at
-// Arrival that will generate OutputLen tokens.
+// Arrival that will generate OutputLen tokens. Client and Class are set for
+// spec-generated multi-client traces (empty otherwise): Client names the
+// originating spec client, Class its SLO class.
 type Request struct {
 	ID        int
 	Arrival   sim.Time
 	InputLen  int
 	OutputLen int
+	Client    string
+	Class     string
 }
 
 // Trace is a time-ordered request sequence.
@@ -106,11 +116,10 @@ func DatasetByName(name string) (Dataset, error) {
 	return Dataset{}, fmt.Errorf("workload: unknown dataset %q", name)
 }
 
-// RateSegment starts a new piecewise-constant arrival rate at Start.
-type RateSegment struct {
-	Start sim.Time
-	RPS   float64
-}
+// RateSegment starts a new piecewise-constant arrival rate at Start. It is
+// an alias for arrival.Segment so schedules flow directly into the
+// arrival-process layer.
+type RateSegment = arrival.Segment
 
 // BurstSchedule reproduces the Figure 2 pattern over a ~128 s window: a
 // baseline rate that roughly doubles at 45 s with no warning, holds through
@@ -158,48 +167,34 @@ func SteadySchedule(rps float64) []RateSegment {
 	return []RateSegment{{Start: 0, RPS: rps}}
 }
 
-// rateAt returns the rate active at t; segments must be sorted by Start.
-func rateAt(sched []RateSegment, t sim.Time) float64 {
-	rate := 0.0
-	for _, s := range sched {
-		if s.Start > t {
-			break
-		}
-		rate = s.RPS
-	}
-	return rate
-}
-
 // Generate produces a trace of Poisson arrivals following the schedule for
 // the given duration, with lengths drawn from the dataset. The same seed
-// always yields the same trace.
+// always yields the same trace. It is a thin wrapper over GenerateProcess
+// with a piecewise-constant Poisson process; seeds produce traces identical
+// to the pre-arrival-layer generator.
 func Generate(seed int64, duration sim.Duration, sched []RateSegment, ds Dataset) *Trace {
 	if len(sched) == 0 {
 		panic("workload: empty rate schedule")
 	}
+	return GenerateProcess(seed, duration, &arrival.Piecewise{Segments: sched}, ds)
+}
+
+// GenerateProcess produces a trace whose arrivals are drawn from proc and
+// whose lengths come from the dataset, all from one seeded RNG — the same
+// seed always yields the same trace. Stateful processes (MMPP) must be
+// fresh, unused instances.
+func GenerateProcess(seed int64, duration sim.Duration, proc arrival.Process, ds Dataset) *Trace {
 	rng := rand.New(rand.NewSource(seed))
 	end := sim.Time(duration)
 	tr := &Trace{Name: ds.Name}
 	now := sim.Time(0)
 	id := 0
-	for now < end {
-		rate := rateAt(sched, now)
-		if rate <= 0 {
-			// Jump to the next segment with positive rate.
-			next := end
-			for _, s := range sched {
-				if s.Start > now && s.Start < next {
-					next = s.Start
-				}
-			}
-			now = next
-			continue
-		}
-		gap := sim.DurationFromSeconds(rng.ExpFloat64() / rate)
-		now = now.Add(gap)
-		if now >= end {
+	for {
+		next, ok := proc.Next(rng, now)
+		if !ok || next >= end {
 			break
 		}
+		now = next
 		tr.Requests = append(tr.Requests, Request{
 			ID:        id,
 			Arrival:   now,
@@ -209,6 +204,18 @@ func Generate(seed int64, duration sim.Duration, sched []RateSegment, ds Dataset
 		id++
 	}
 	return tr
+}
+
+// Merge combines traces into one time-ordered trace with dense IDs. Inputs
+// are not modified; per-request Client/Class tags survive, which is how
+// spec-compiled multi-client mixes are assembled.
+func Merge(name string, traces ...*Trace) *Trace {
+	out := &Trace{Name: name}
+	for _, tr := range traces {
+		out.Requests = append(out.Requests, tr.Requests...)
+	}
+	out.sort()
+	return out
 }
 
 // Upscale returns a copy of the trace with the request rate scaled by
@@ -307,7 +314,7 @@ func (t *Trace) AvgRPS() float64 {
 // RPSSeries bins arrivals into windows of the given width, for the Figure 2
 // and Figure 16 request-rate panels.
 func (t *Trace) RPSSeries(window sim.Duration) []float64 {
-	if len(t.Requests) == 0 {
+	if len(t.Requests) == 0 || window <= 0 {
 		return nil
 	}
 	bins := int(t.Duration().Sub(0)/window) + 1
@@ -335,10 +342,24 @@ func (t *Trace) MeanLens() (in, out float64) {
 	return in / n, out / n
 }
 
-// WriteCSV serializes the trace as "id,arrival_s,input,output".
+// WriteCSV serializes the trace as "id,arrival_s,input,output". Traces
+// carrying client or SLO-class tags (spec-compiled mixes) get two extra
+// columns, "client" and "slo_class"; untagged traces keep the legacy
+// four-column format so existing consumers are unaffected.
 func (t *Trace) WriteCSV(w io.Writer) error {
+	tagged := false
+	for _, r := range t.Requests {
+		if r.Client != "" || r.Class != "" {
+			tagged = true
+			break
+		}
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"id", "arrival_s", "input_tokens", "output_tokens"}); err != nil {
+	header := []string{"id", "arrival_s", "input_tokens", "output_tokens"}
+	if tagged {
+		header = append(header, "client", "slo_class")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range t.Requests {
@@ -348,6 +369,9 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.InputLen),
 			strconv.Itoa(r.OutputLen),
 		}
+		if tagged {
+			rec = append(rec, r.Client, r.Class)
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -356,7 +380,8 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV, accepting both the legacy
+// four-column and the tagged six-column layout.
 func ReadCSV(name string, r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -366,9 +391,13 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("workload: empty CSV")
 	}
+	cols := len(rows[0])
+	if cols != 4 && cols != 6 {
+		return nil, fmt.Errorf("workload: header has %d fields, want 4 or 6", cols)
+	}
 	tr := &Trace{Name: name}
 	for i, row := range rows[1:] {
-		if len(row) != 4 {
+		if len(row) != cols {
 			return nil, fmt.Errorf("workload: row %d has %d fields", i+1, len(row))
 		}
 		id, err1 := strconv.Atoi(row[0])
@@ -380,9 +409,13 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("workload: row %d: %v", i+1, e)
 			}
 		}
-		tr.Requests = append(tr.Requests, Request{
+		req := Request{
 			ID: id, Arrival: sim.FromSeconds(at), InputLen: in, OutputLen: out,
-		})
+		}
+		if cols == 6 {
+			req.Client, req.Class = row[4], row[5]
+		}
+		tr.Requests = append(tr.Requests, req)
 	}
 	tr.sort()
 	return tr, nil

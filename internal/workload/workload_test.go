@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"kunserve/internal/sim"
+	"kunserve/internal/workload/arrival"
 )
 
 func TestLengthDistMean(t *testing.T) {
@@ -280,6 +281,131 @@ func TestEmptySchedulePanics(t *testing.T) {
 		}
 	}()
 	Generate(1, sim.Second, nil, BurstGPTDataset())
+}
+
+func TestRPSSeriesZeroWindow(t *testing.T) {
+	tr := Generate(4, 20*sim.Second, SteadySchedule(5), BurstGPTDataset())
+	if s := tr.RPSSeries(0); s != nil {
+		t.Errorf("zero window returned %d bins, want empty", len(s))
+	}
+	if s := tr.RPSSeries(-sim.Second); s != nil {
+		t.Errorf("negative window returned %d bins, want empty", len(s))
+	}
+}
+
+// Generate must be exactly GenerateProcess over a piecewise Poisson —
+// the arrival-layer refactor may not change any trace.
+func TestGenerateMatchesGenerateProcess(t *testing.T) {
+	sched := BurstSchedule(6)
+	a := Generate(42, 128*sim.Second, sched, ShareGPTDataset())
+	b := GenerateProcess(42, 128*sim.Second, &arrival.Piecewise{Segments: sched}, ShareGPTDataset())
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGenerateProcessNonPoisson(t *testing.T) {
+	g, err := arrival.NewGamma(8, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := GenerateProcess(3, 300*sim.Second, g, BurstGPTDataset())
+	if got := tr.AvgRPS(); math.Abs(got-8)/8 > 0.25 {
+		t.Errorf("gamma trace rate %.1f, want ~8", got)
+	}
+	a := GenerateProcess(3, 60*sim.Second, mustGamma(t, 8, 2.5), BurstGPTDataset())
+	b := GenerateProcess(3, 60*sim.Second, mustGamma(t, 8, 2.5), BurstGPTDataset())
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed, different gamma traces")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func mustGamma(t *testing.T, rate, cv float64) arrival.Process {
+	t.Helper()
+	g, err := arrival.NewGamma(rate, cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMergeOrdersAndRenumbers(t *testing.T) {
+	a := Generate(1, 30*sim.Second, SteadySchedule(4), BurstGPTDataset())
+	b := Generate(2, 30*sim.Second, SteadySchedule(6), ShareGPTDataset())
+	for i := range a.Requests {
+		a.Requests[i].Client = "a"
+	}
+	for i := range b.Requests {
+		b.Requests[i].Client = "b"
+	}
+	m := Merge("mix", a, b)
+	if len(m.Requests) != len(a.Requests)+len(b.Requests) {
+		t.Fatal("merge lost requests")
+	}
+	var sawA, sawB int
+	for i, r := range m.Requests {
+		if r.ID != i {
+			t.Fatal("IDs not dense after merge")
+		}
+		if i > 0 && r.Arrival < m.Requests[i-1].Arrival {
+			t.Fatal("not sorted after merge")
+		}
+		switch r.Client {
+		case "a":
+			sawA++
+		case "b":
+			sawB++
+		default:
+			t.Fatalf("request %d lost its client tag", i)
+		}
+	}
+	if sawA != len(a.Requests) || sawB != len(b.Requests) {
+		t.Fatal("client tags miscounted after merge")
+	}
+}
+
+func TestTaggedCSVRoundTrip(t *testing.T) {
+	tr := Generate(4, 30*sim.Second, SteadySchedule(3), ShareGPTDataset())
+	for i := range tr.Requests {
+		tr.Requests[i].Client = "interactive"
+		tr.Requests[i].Class = "strict"
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "slo_class") {
+		t.Fatal("tagged trace did not emit extended header")
+	}
+	back, err := ReadCSV("mix", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Requests {
+		a, b := tr.Requests[i], back.Requests[i]
+		if a.Client != b.Client || a.Class != b.Class {
+			t.Fatalf("request %d tags lost: %+v vs %+v", i, a, b)
+		}
+	}
+	// Untagged traces must keep the legacy 4-column layout.
+	var legacy bytes.Buffer
+	plain := Generate(4, 10*sim.Second, SteadySchedule(3), ShareGPTDataset())
+	if err := plain.WriteCSV(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.SplitN(legacy.String(), "\n", 2)[0], "client") {
+		t.Fatal("untagged trace emitted extended header")
+	}
 }
 
 // Property: upscaling by any factor >= 1 never reduces request count and
