@@ -8,7 +8,9 @@
 package kunserve
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"kunserve/internal/batching"
 	"kunserve/internal/core/lookahead"
@@ -159,6 +161,60 @@ func BenchmarkFigure17ExtremeBurst(b *testing.B) {
 	b.ReportMetric(r.Rows[1].CapacityGB, "kunserve-peakcap-GB")
 	b.ReportMetric(r.Rows[0].CapacityGB, "vllm-cap-GB")
 	b.ReportMetric(float64(r.Rows[1].Drops), "drops")
+}
+
+// BenchmarkRunnerParallelVsSequential measures the concurrent run-matrix
+// harness: the five-system comparison executed on one worker versus
+// GOMAXPROCS workers. The runs are bit-identical (the runner guarantees it;
+// verified here); only the wall clock changes. On a multicore box speedup-x
+// approaches min(workers, cells).
+func BenchmarkRunnerParallelVsSequential(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	var seq, par time.Duration
+	var seqRes, parRes *experiments.Figure12Result
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Quick()
+		cfg.Parallel = 1
+		start := time.Now()
+		var err error
+		if seqRes, err = experiments.RunAllSystems(cfg); err != nil {
+			b.Fatal(err)
+		}
+		seq += time.Since(start)
+
+		cfg.Parallel = workers
+		start = time.Now()
+		if parRes, err = experiments.RunAllSystems(cfg); err != nil {
+			b.Fatal(err)
+		}
+		par += time.Since(start)
+	}
+	ks, kp := seqRes.Find(experiments.SysKunServe), parRes.Find(experiments.SysKunServe)
+	if ks.TTFTP99 != kp.TTFTP99 || ks.Finished != kp.Finished {
+		b.Fatal("parallel run diverged from sequential")
+	}
+	b.ReportMetric(seq.Seconds()/float64(b.N), "sequential-s")
+	b.ReportMetric(par.Seconds()/float64(b.N), "parallel-s")
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkSweepHarness exercises the sweep path end to end (a small load
+// grid across two systems) and reports its wall clock per grid cell.
+func BenchmarkSweepHarness(b *testing.B) {
+	systems := []experiments.System{experiments.SysVLLMDP, experiments.SysKunServe}
+	var res *experiments.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Quick()
+		cfg.Duration = 32 * sim.Second
+		res, err = experiments.Sweep(cfg, "load", []float64{0.8, 1.0, 1.2}, systems)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Cells)), "cells")
+	b.ReportMetric(res.Bands()[0].MeanP99, "band0-meanp99-s")
 }
 
 // --- Design-choice micro-benches ----------------------------------------

@@ -3,21 +3,30 @@
 //
 // Usage:
 //
-//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig14|fig15|fig16|fig17|all \
+//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|all \
 //	    [-scale quick|full|clusterb] [-dataset burstgpt|sharegpt|longbench] \
 //	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT] \
-//	    [-spec workload.json]
+//	    [-parallel N] [-json] [-sweep key=lo:hi:step] [-spec workload.json]
 //
-// -spec drives the experiments' trace from a declarative workload spec
-// (multi-client mixes, gamma/weibull/diurnal/mmpp arrivals, trace replay;
-// see internal/workload/spec and examples/specs/) instead of the default
-// BurstGPT burst schedule.
+// -parallel bounds the worker pool the experiment run matrices execute on
+// (default GOMAXPROCS); results are bit-identical whatever the value.
+// -json emits machine-readable result structs instead of the paper-style
+// text. -sweep runs the five systems across a parameter grid (e.g.
+// load=0.5:2.0:0.25, or seed=1:32:1 for confidence bands) instead of a
+// figure. -spec drives the experiments' trace from a declarative workload
+// spec (multi-client mixes, gamma/weibull/diurnal/mmpp arrivals, trace
+// replay; see internal/workload/spec and examples/specs/) instead of the
+// default BurstGPT burst schedule.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
+	"strings"
 
 	"kunserve/internal/experiments"
 	"kunserve/internal/sim"
@@ -25,18 +34,29 @@ import (
 	"kunserve/internal/workload/spec"
 )
 
+// validExps lists every -exp value, in the order "all" runs them.
+var validExps = []string{"table1", "fig2", "fig5", "fig12", "fig13", "fig12+13", "fig14", "fig15", "fig16", "fig17", "all"}
+
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1, fig2, fig5, fig12, fig13, fig14, fig15, fig16, fig17, all")
+		exp       = flag.String("exp", "all", "experiment: "+strings.Join(validExps, ", "))
 		scale     = flag.String("scale", "quick", "quick (2 instances, 64s), full (8 instances, 128s), clusterb (72B on H800)")
 		dataset   = flag.String("dataset", "", "burstgpt, sharegpt or longbench (default per experiment)")
 		instances = flag.Int("instances", 0, "override instance count")
 		seed      = flag.Int64("seed", 0, "override RNG seed")
 		duration  = flag.Float64("duration", 0, "override trace duration in seconds")
 		load      = flag.Float64("load", 0, "load multiplier on the derived base RPS")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical at any setting")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON summaries instead of paper-style text")
+		sweepFlag = flag.String("sweep", "", "run a parameter sweep key=lo:hi:step (keys: "+strings.Join(experiments.SweepKeys, ", ")+") over the five systems")
 		specFile  = flag.String("spec", "", "workload spec JSON driving the experiment trace")
 	)
 	flag.Parse()
+
+	if !slices.Contains(validExps, *exp) {
+		fmt.Fprintf(os.Stderr, "unknown -exp %q (valid: %s)\n", *exp, strings.Join(validExps, ", "))
+		os.Exit(2)
+	}
 
 	cfg := experiments.Quick()
 	switch *scale {
@@ -69,6 +89,7 @@ func main() {
 	if *load > 0 {
 		cfg.LoadMultiplier = *load
 	}
+	cfg.Parallel = *parallel
 	if *specFile != "" {
 		// The spec's own seed, duration, and rates govern the trace;
 		// -seed still seeds the cluster and -load still scales KV
@@ -91,85 +112,150 @@ func main() {
 		}
 	}
 
-	if err := run(*exp, cfg); err != nil {
+	if *sweepFlag != "" {
+		key, values, err := experiments.ParseSweep(*sweepFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				fmt.Fprintln(os.Stderr, "note: -exp is ignored in -sweep mode (the sweep runs the five systems)")
+			}
+		})
+		if err := runSweep(key, values, cfg, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*exp, cfg, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cfg experiments.Config) error {
+func runSweep(key string, values []float64, cfg experiments.Config, jsonOut bool) error {
+	res, err := experiments.Sweep(cfg, key, values, nil)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(os.Stdout, res)
+	}
+	experiments.PrintSweep(os.Stdout, res)
+	return nil
+}
+
+func emitJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// artifact is one produced result: its JSON key, the typed value, and the
+// paper-style printer.
+type artifact struct {
+	key   string
+	value any
+	print func(io.Writer)
+}
+
+// runExp executes one -exp selection; fig12+13 yields two artifacts off one
+// shared run set.
+func runExp(name string, cfg experiments.Config) ([]artifact, error) {
+	one := func(key string, value any, print func(io.Writer)) []artifact {
+		return []artifact{{key, value, print}}
+	}
+	switch name {
+	case "table1":
+		rows := experiments.Table1()
+		return one("table1", rows, func(w io.Writer) { experiments.PrintTable1(w, rows) }), nil
+	case "fig2":
+		r, err := experiments.Figure2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig2", r, func(w io.Writer) { experiments.PrintFigure2(w, r) }), nil
+	case "fig5":
+		rows, err := experiments.Figure5(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig5", rows, func(w io.Writer) { experiments.PrintFigure5(w, rows) }), nil
+	case "fig12":
+		r, err := experiments.Figure12(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig12", r, func(w io.Writer) { experiments.PrintFigure12(w, r) }), nil
+	case "fig13":
+		r, err := experiments.Figure13(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig13", r, func(w io.Writer) { experiments.PrintFigure13(w, r) }), nil
+	case "fig12+13":
+		runs, err := experiments.RunAllSystems(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fig13 := experiments.Figure13From(runs)
+		return []artifact{
+			{"fig12", runs, func(w io.Writer) { experiments.PrintFigure12(w, runs) }},
+			{"fig13", fig13, func(w io.Writer) { experiments.PrintFigure13(w, fig13) }},
+		}, nil
+	case "fig14":
+		rows, err := experiments.Figure14(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig14", rows, func(w io.Writer) { experiments.PrintFigure14(w, rows) }), nil
+	case "fig15":
+		r, err := experiments.Figure15(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig15", r, func(w io.Writer) { experiments.PrintFigure15(w, r) }), nil
+	case "fig16":
+		r, err := experiments.Figure16(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig16", r, func(w io.Writer) { experiments.PrintFigure16(w, r) }), nil
+	case "fig17":
+		r, err := experiments.Figure17(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("fig17", r, func(w io.Writer) { experiments.PrintFigure17(w, r) }), nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+func run(exp string, cfg experiments.Config, jsonOut bool) error {
 	out := os.Stdout
-	runOne := func(name string) error {
-		switch name {
-		case "table1":
-			experiments.PrintTable1(out, experiments.Table1())
-		case "fig2":
-			r, err := experiments.Figure2(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure2(out, r)
-		case "fig5":
-			rows, err := experiments.Figure5(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure5(out, rows)
-		case "fig12":
-			r, err := experiments.Figure12(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure12(out, r)
-		case "fig13":
-			r, err := experiments.Figure13(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure13(out, r)
-		case "fig12+13":
-			runs, err := experiments.RunAllSystems(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure12(out, runs)
-			experiments.PrintFigure13(out, experiments.Figure13From(runs))
-		case "fig14":
-			rows, err := experiments.Figure14(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure14(out, rows)
-		case "fig15":
-			r, err := experiments.Figure15(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure15(out, r)
-		case "fig16":
-			r, err := experiments.Figure16(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure16(out, r)
-		case "fig17":
-			r, err := experiments.Figure17(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.PrintFigure17(out, r)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
-	}
+	names := []string{exp}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig2", "fig5", "fig12+13", "fig14", "fig15", "fig16", "fig17"} {
-			if err := runOne(name); err != nil {
-				return err
+		names = []string{"table1", "fig2", "fig5", "fig12+13", "fig14", "fig15", "fig16", "fig17"}
+	}
+	results := map[string]any{}
+	for _, name := range names {
+		arts, err := runExp(name, cfg)
+		if err != nil {
+			return err
+		}
+		for _, a := range arts {
+			if jsonOut {
+				results[a.key] = a.value
+			} else {
+				a.print(out)
 			}
 		}
-		return nil
 	}
-	return runOne(exp)
+	if jsonOut {
+		return emitJSON(out, results)
+	}
+	return nil
 }

@@ -56,6 +56,20 @@ func main() {
 	)
 	flag.Parse()
 
+	if *specFile != "" {
+		// The spec governs generation end to end (its own seed, rates,
+		// lengths; per-client upscale lives inside the spec), so every
+		// other generation flag is inert — say so instead of silently
+		// ignoring it.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "spec", "o":
+			default:
+				fmt.Fprintf(os.Stderr, "note: -%s does not affect the -spec trace (the spec governs generation; per-client upscale lives in the spec)\n", f.Name)
+			}
+		})
+	}
+
 	tr, err := buildTrace(*specFile, *dataset, *schedule, *arrivalF,
 		*duration, *rps, *cv, *shape, *amplitude, *period, *seed)
 	if err != nil {

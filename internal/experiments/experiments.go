@@ -11,12 +11,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"kunserve/internal/baselines"
 	"kunserve/internal/cluster"
 	"kunserve/internal/core"
 	"kunserve/internal/gpu"
 	"kunserve/internal/model"
+	"kunserve/internal/runner"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 	"kunserve/internal/workload/spec"
@@ -89,6 +91,11 @@ type Config struct {
 	// HorizonSlack extends the simulation past the trace end so queued
 	// work drains.
 	HorizonSlack sim.Duration
+	// Parallel bounds the worker pool the figure run matrices execute on
+	// (0 = GOMAXPROCS). Results are bit-identical whatever the value:
+	// each simulation is a self-contained deterministic world, and the
+	// runner returns results in submission order.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +128,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HorizonSlack == 0 {
 		c.HorizonSlack = 180 * sim.Second
+	}
+	if c.Parallel == 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -235,45 +245,61 @@ func (c Config) BuildTrace() (*workload.Trace, error) {
 		workload.ScaledBurstSchedule(cfg.BaseRPS, cfg.Duration), cfg.Dataset), nil
 }
 
+// clusterConfig assembles the cluster configuration for one run on tr. The
+// policy slot is filled per cell by the runner. The receiver must already
+// have defaults applied.
+func (c Config) clusterConfig(tr *workload.Trace) cluster.Config {
+	return cluster.Config{
+		Seed:             c.Seed,
+		Model:            c.Model,
+		GPU:              c.GPU,
+		Instances:        c.Instances,
+		NetBandwidth:     c.NetBandwidth,
+		KVProvisionBytes: c.kvProvisionFor(tr),
+	}
+}
+
+// cellDef names one policy cell of a figure's run matrix.
+type cellDef struct {
+	key string
+	pol func() cluster.Policy
+}
+
+// runMatrix executes one simulation per cell on the shared trace through the
+// concurrent runner, returning results in cell order.
+func (c Config) runMatrix(tr *workload.Trace, defs []cellDef) ([]runner.Result, error) {
+	cfg := c.withDefaults()
+	set := runner.NewSet(cfg.Parallel)
+	for _, d := range defs {
+		set.Add(runner.Cell{
+			Key:       d.key,
+			Cluster:   cfg.clusterConfig(tr),
+			NewPolicy: d.pol,
+			Trace:     tr,
+			Horizon:   tr.Duration().Add(cfg.HorizonSlack),
+		})
+	}
+	return set.Execute()
+}
+
 // Run serves the trace on a fresh cluster under the given system and
 // returns the cluster (collector inside).
 func (c Config) Run(s System, tr *workload.Trace) (*cluster.Cluster, error) {
-	cfg := c.withDefaults()
-	cl, err := cluster.New(cluster.Config{
-		Seed:             cfg.Seed,
-		Model:            cfg.Model,
-		GPU:              cfg.GPU,
-		Instances:        cfg.Instances,
-		NetBandwidth:     cfg.NetBandwidth,
-		KVProvisionBytes: cfg.kvProvisionFor(tr),
-		Policy:           NewPolicy(s),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", s, err)
-	}
-	horizon := tr.Duration().Add(cfg.HorizonSlack)
-	cl.Serve(tr, horizon)
-	return cl, nil
+	return c.RunPolicy(NewPolicy(s), tr)
 }
 
-// RunPolicy is Run with an explicit policy (ablations).
+// RunPolicy is Run with an explicit policy (ablations): a single-cell run
+// set.
 func (c Config) RunPolicy(pol cluster.Policy, tr *workload.Trace) (*cluster.Cluster, error) {
 	cfg := c.withDefaults()
-	cl, err := cluster.New(cluster.Config{
-		Seed:             cfg.Seed,
-		Model:            cfg.Model,
-		GPU:              cfg.GPU,
-		Instances:        cfg.Instances,
-		NetBandwidth:     cfg.NetBandwidth,
-		KVProvisionBytes: cfg.kvProvisionFor(tr),
-		Policy:           pol,
+	res := runner.Run(runner.Cell{
+		Key:       pol.Name(),
+		Cluster:   cfg.clusterConfig(tr),
+		NewPolicy: func() cluster.Policy { return pol },
+		Trace:     tr,
+		Horizon:   tr.Duration().Add(cfg.HorizonSlack),
 	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", pol.Name(), err)
-	}
-	horizon := tr.Duration().Add(cfg.HorizonSlack)
-	cl.Serve(tr, horizon)
-	return cl, nil
+	return res.Cluster, res.Err
 }
 
 // printHeader writes a figure banner.

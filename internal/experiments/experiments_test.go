@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -373,6 +374,99 @@ func TestConfigWithWorkloadSpec(t *testing.T) {
 	}
 	if def.Name != "burstgpt" || len(def.Requests) == 0 {
 		t.Error("default trace changed")
+	}
+}
+
+// The tentpole guarantee: figure results from the concurrent runner are
+// bit-identical to sequential execution for the same seed — every percentile,
+// series, per-record latency, and reconfiguration event.
+func TestRunAllSystemsParallelMatchesSequential(t *testing.T) {
+	seqCfg := Quick()
+	seqCfg.Parallel = 1
+	parCfg := Quick()
+	parCfg.Parallel = 8
+	seq, err := RunAllSystems(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAllSystems(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		for i := range seq.Systems {
+			if !reflect.DeepEqual(seq.Systems[i], par.Systems[i]) {
+				t.Errorf("%s: parallel run differs from sequential", seq.Systems[i].System)
+			}
+		}
+		t.Fatal("parallel figure results differ from sequential")
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	key, vals, err := ParseSweep("load=0.5:2.0:0.25")
+	if err != nil || key != "load" {
+		t.Fatalf("key=%q err=%v", key, err)
+	}
+	if len(vals) != 7 || vals[0] != 0.5 || math.Abs(vals[6]-2.0) > 1e-9 {
+		t.Fatalf("vals = %v", vals)
+	}
+	key, vals, err = ParseSweep("seed=1:32:1")
+	if err != nil || key != "seed" || len(vals) != 32 {
+		t.Fatalf("seed sweep: key=%q n=%d err=%v", key, len(vals), err)
+	}
+	for _, bad := range []string{
+		"load", "nope=1:2:1", "load=1:2", "load=1:2:0", "load=2:1:1", "load=a:2:1",
+		"seed=1:4:0.5", "rep=1.5:3:1", "instances=2:8:1.5",
+	} {
+		if _, _, err := ParseSweep(bad); err == nil {
+			t.Errorf("ParseSweep(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSweepReplicates(t *testing.T) {
+	cfg := Quick()
+	cfg.Duration = 32 * sim.Second
+	systems := []System{SysVLLMDP, SysKunServe}
+	res, err := Sweep(cfg, "rep", []float64{1, 2}, systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Value-major, system-minor ordering.
+	want := []struct {
+		v float64
+		s System
+	}{{1, SysVLLMDP}, {1, SysKunServe}, {2, SysVLLMDP}, {2, SysKunServe}}
+	for i, c := range res.Cells {
+		if c.Value != want[i].v || c.System != want[i].s {
+			t.Errorf("cell %d = (%g, %s), want (%g, %s)", i, c.Value, c.System, want[i].v, want[i].s)
+		}
+		if c.Finished == 0 {
+			t.Errorf("cell %d finished nothing", i)
+		}
+	}
+	// Replicates derive distinct seeds, so the two reps see different
+	// traces and different outcomes.
+	if reflect.DeepEqual(res.Cells[0].TTFTs, res.Cells[2].TTFTs) {
+		t.Error("replicates produced identical runs")
+	}
+	bands := res.Bands()
+	if len(bands) != 2 {
+		t.Fatalf("bands = %d", len(bands))
+	}
+	for _, b := range bands {
+		if b.N != 2 || b.MeanP99 <= 0 || b.WorstP99 < b.MeanP99 {
+			t.Errorf("band %+v malformed", b)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSweep(&buf, res)
+	if buf.Len() == 0 {
+		t.Error("empty print")
 	}
 }
 

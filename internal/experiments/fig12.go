@@ -4,35 +4,16 @@ import (
 	"fmt"
 	"io"
 
-	"kunserve/internal/core"
+	"kunserve/internal/cluster"
+	"kunserve/internal/runner"
 	"kunserve/internal/sim"
 )
 
-// SystemRun is one system's outcome on one workload: the shared unit for
-// Figures 12 and 13.
+// SystemRun is one system's outcome on one workload — the shared unit for
+// Figures 12 and 13: a runner.Summary tagged with the system identity.
 type SystemRun struct {
-	System   System
-	Finished int
-	Unserved int
-
-	TTFTP50, TTFTP90, TTFTP99, TTFTP999 float64
-	TPOTP50, TPOTP90, TPOTP99, TPOTP999 float64
-	MeanTTFTSeries                      []float64 // Fig 12 col 2
-	ThroughputSeries                    []float64 // Fig 12 col 3 (tokens/s)
-	Throughput                          float64
-
-	// KunServe-only extras.
-	DemandGBSeries []float64 // Fig 12 col 1
-	CapacityGB     float64
-	DropEvents     []core.Event
-
-	// kept for SLO computation.
-	run *runHandle
-}
-
-type runHandle struct {
-	ttfts, tpots []float64
-	outputs      []int
+	System System
+	runner.Summary
 }
 
 // Figure12Result is one workload's full comparison.
@@ -42,11 +23,23 @@ type Figure12Result struct {
 	Systems  []SystemRun
 }
 
-// RunAllSystems executes the five systems on one workload; Figure 12 and
-// Figure 13 both consume its output.
+// RunAllSystems executes the five systems on one workload as a concurrent
+// run matrix; Figure 12 and Figure 13 both consume its output.
 func RunAllSystems(cfg Config) (*Figure12Result, error) {
 	cfg = cfg.withDefaults()
 	tr, err := cfg.BuildTrace()
+	if err != nil {
+		return nil, err
+	}
+	var defs []cellDef
+	for _, s := range AllSystems() {
+		if s == SysVLLMPP && cfg.Instances%2 != 0 {
+			continue
+		}
+		sys := s
+		defs = append(defs, cellDef{string(sys), func() cluster.Policy { return NewPolicy(sys) }})
+	}
+	results, err := cfg.runMatrix(tr, defs)
 	if err != nil {
 		return nil, err
 	}
@@ -54,46 +47,11 @@ func RunAllSystems(cfg Config) (*Figure12Result, error) {
 		Workload: fmt.Sprintf("%s x %s", tr.Name, cfg.Model.Name),
 		Window:   4 * sim.Second,
 	}
-	for _, s := range AllSystems() {
-		if s == SysVLLMPP && cfg.Instances%2 != 0 {
-			continue
-		}
-		cl, err := cfg.Run(s, tr)
-		if err != nil {
-			return nil, err
-		}
-		col := cl.Collector
-		sr := SystemRun{
-			System:           s,
-			Finished:         col.TTFT.Count(),
-			Unserved:         cl.Outstanding(),
-			TTFTP50:          col.TTFT.Percentile(50),
-			TTFTP90:          col.TTFT.Percentile(90),
-			TTFTP99:          col.TTFT.Percentile(99),
-			TTFTP999:         col.TTFT.Percentile(99.9),
-			TPOTP50:          col.TPOT.Percentile(50),
-			TPOTP90:          col.TPOT.Percentile(90),
-			TPOTP99:          col.TPOT.Percentile(99),
-			TPOTP999:         col.TPOT.Percentile(99.9),
-			MeanTTFTSeries:   col.MeanTTFT.MeanPerBin(),
-			ThroughputSeries: col.Tokens.RatePerSecond(),
-			Throughput:       col.ThroughputTokensPerSec(),
-			CapacityGB:       float64(cl.CapacityBytes()) / 1e9,
-		}
-		handle := &runHandle{}
-		for _, rec := range col.Records {
-			handle.ttfts = append(handle.ttfts, rec.TTFT())
-			handle.tpots = append(handle.tpots, rec.TPOT())
-			handle.outputs = append(handle.outputs, rec.OutputTokens)
-		}
-		sr.run = handle
-		for _, v := range col.KVDemand.Values() {
-			sr.DemandGBSeries = append(sr.DemandGBSeries, v/1e9)
-		}
-		if ks, ok := cl.Policy.(*core.Policy); ok {
-			sr.DropEvents = ks.Events()
-		}
-		res.Systems = append(res.Systems, sr)
+	for i, r := range results {
+		res.Systems = append(res.Systems, SystemRun{
+			System:  System(defs[i].key),
+			Summary: r.Summary,
+		})
 	}
 	return res, nil
 }
@@ -117,7 +75,7 @@ func PrintFigure12(w io.Writer, r *Figure12Result) {
 	if ks := r.Find(SysKunServe); ks != nil {
 		fmt.Fprintf(w, "[memory] capacity %.0f GB; KunServe demand (GB/%v):\n    %s\n",
 			ks.CapacityGB, r.Window, fseries(ks.DemandGBSeries, 1, "%.0f"))
-		for _, e := range ks.DropEvents {
+		for _, e := range ks.Events {
 			fmt.Fprintf(w, "    %s at %v..%v (groups=%d, %+.1f GB)\n",
 				e.Kind, e.Start, e.End, e.Groups, float64(e.FreedBytes)/1e9)
 		}

@@ -54,9 +54,9 @@ func Figure13From(runs *Figure12Result) *Figure13Result {
 			tl := scale * res.RefP50TTFT
 			pl := scale * res.RefP50TPOT
 			viol := 0
-			total := len(sr.run.ttfts) + sr.Unserved
-			for j := range sr.run.ttfts {
-				if sr.run.ttfts[j] > tl || (sr.run.outputs[j] > 1 && sr.run.tpots[j] > pl) {
+			total := len(sr.TTFTs) + sr.Unserved
+			for j := range sr.TTFTs {
+				if sr.TTFTs[j] > tl || (sr.Outputs[j] > 1 && sr.TPOTs[j] > pl) {
 					viol++
 				}
 			}

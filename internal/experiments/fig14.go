@@ -6,20 +6,15 @@ import (
 
 	"kunserve/internal/cluster"
 	"kunserve/internal/core"
+	"kunserve/internal/runner"
 	"kunserve/internal/workload"
 )
 
-// Figure14Row is one ablation rung's latency summary.
+// Figure14Row is one ablation rung's latency summary (the BubbleRatio field
+// of the embedded summary is the Figure 14 bottom panel).
 type Figure14Row struct {
 	Label string
-
-	TTFTP50, TTFTP90, TTFTP99, TTFTP999 float64
-	TPOTP50, TPOTP90, TPOTP99, TPOTP999 float64
-	// BubbleRatio is the mean GPU idle fraction during pipelined
-	// execution (Figure 14 bottom panel); zero for non-pipelined rungs.
-	BubbleRatio float64
-	Throughput  float64
-	Finished    int
+	runner.Summary
 }
 
 // Figure14 runs the ablation on the LongBench dataset (as in §5.3):
@@ -37,10 +32,7 @@ func Figure14(cfg Config) ([]Figure14Row, error) {
 		return nil, err
 	}
 
-	rungs := []struct {
-		label string
-		pol   func() cluster.Policy
-	}{
+	rungs := []cellDef{
 		{"vLLM (DP)", func() cluster.Policy { return NewPolicy(SysVLLMDP) }},
 		{"vLLM (PP)", func() cluster.Policy { return NewPolicy(SysVLLMPP) }},
 		// The KunServe rungs disable restoration so the pipelined
@@ -60,40 +52,20 @@ func Figure14(cfg Config) ([]Figure14Row, error) {
 			return core.New(core.Options{DisableRestore: true})
 		}},
 	}
-	var rows []Figure14Row
+	var defs []cellDef
 	for _, rung := range rungs {
-		if rung.label == "vLLM (PP)" && cfg.Instances%2 != 0 {
+		if rung.key == "vLLM (PP)" && cfg.Instances%2 != 0 {
 			continue
 		}
-		cl, err := cfg.RunPolicy(rung.pol(), tr)
-		if err != nil {
-			return nil, err
-		}
-		col := cl.Collector
-		row := Figure14Row{
-			Label:      rung.label,
-			TTFTP50:    col.TTFT.Percentile(50),
-			TTFTP90:    col.TTFT.Percentile(90),
-			TTFTP99:    col.TTFT.Percentile(99),
-			TTFTP999:   col.TTFT.Percentile(99.9),
-			TPOTP50:    col.TPOT.Percentile(50),
-			TPOTP90:    col.TPOT.Percentile(90),
-			TPOTP99:    col.TPOT.Percentile(99),
-			TPOTP999:   col.TPOT.Percentile(99.9),
-			Throughput: col.ThroughputTokensPerSec(),
-			Finished:   col.TTFT.Count(),
-		}
-		// Aggregate bubble ratio over pipelined groups.
-		var ratios []float64
-		for _, g := range cl.Groups() {
-			if g.Stages() > 1 && g.Engine().SpanTime() > 0 {
-				ratios = append(ratios, g.Engine().BubbleRatio())
-			}
-		}
-		for _, r := range ratios {
-			row.BubbleRatio += r / float64(len(ratios))
-		}
-		rows = append(rows, row)
+		defs = append(defs, rung)
+	}
+	results, err := cfg.runMatrix(tr, defs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure14Row
+	for i, r := range results {
+		rows = append(rows, Figure14Row{Label: defs[i].key, Summary: r.Summary})
 	}
 	return rows, nil
 }

@@ -6,23 +6,15 @@ import (
 
 	"kunserve/internal/cluster"
 	"kunserve/internal/core"
+	"kunserve/internal/runner"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 )
 
 // Figure16Row summarizes one system over the long run.
 type Figure16Row struct {
-	Label          string
-	TTFTP50        float64
-	TTFTP99        float64
-	TPOTP50        float64
-	TPOTP99        float64
-	MeanTTFTSeries []float64
-	Drops          int
-	Restores       int
-	Events         []core.Event
-	Finished       int
-	Unserved       int
+	Label string
+	runner.Summary
 }
 
 // Figure16Result is the §5.5 long-run restoration study.
@@ -46,39 +38,19 @@ func Figure16(cfg Config) (*Figure16Result, error) {
 		Window:    8 * sim.Second,
 		RPSSeries: tr.RPSSeries(8 * sim.Second),
 	}
-	opts := core.Options{}
-	noRestore := opts
-	noRestore.DisableRestore = true
-	rungs := []struct {
-		label string
-		pol   cluster.Policy
-	}{
-		{"vLLM (DP)", NewPolicy(SysVLLMDP)},
-		{"KunServe w/o restore", core.New(noRestore)},
-		{"KunServe", core.New(opts)},
+	defs := []cellDef{
+		{"vLLM (DP)", func() cluster.Policy { return NewPolicy(SysVLLMDP) }},
+		{"KunServe w/o restore", func() cluster.Policy {
+			return core.New(core.Options{DisableRestore: true})
+		}},
+		{"KunServe", func() cluster.Policy { return core.New(core.Options{}) }},
 	}
-	for _, rung := range rungs {
-		cl, err := cfg.RunPolicy(rung.pol, tr)
-		if err != nil {
-			return nil, err
-		}
-		col := cl.Collector
-		row := Figure16Row{
-			Label:          rung.label,
-			TTFTP50:        col.TTFT.Percentile(50),
-			TTFTP99:        col.TTFT.Percentile(99),
-			TPOTP50:        col.TPOT.Percentile(50),
-			TPOTP99:        col.TPOT.Percentile(99),
-			MeanTTFTSeries: col.MeanTTFT.MeanPerBin(),
-			Finished:       col.TTFT.Count(),
-			Unserved:       cl.Outstanding(),
-		}
-		if ks, ok := cl.Policy.(*core.Policy); ok {
-			row.Drops = ks.Drops()
-			row.Restores = ks.Restores()
-			row.Events = ks.Events()
-		}
-		res.Rows = append(res.Rows, row)
+	results, err := cfg.runMatrix(tr, defs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res.Rows = append(res.Rows, Figure16Row{Label: defs[i].key, Summary: r.Summary})
 	}
 	return res, nil
 }

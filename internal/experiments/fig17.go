@@ -4,27 +4,23 @@ import (
 	"fmt"
 	"io"
 
-	"kunserve/internal/core"
+	"kunserve/internal/cluster"
+	"kunserve/internal/runner"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 )
 
-// Figure17Row is one system's outcome under the extreme burst.
+// Figure17Row is one system's outcome under the extreme burst. The embedded
+// summary's DemandGBSeries is the allocated-KV panel; CapacityGB is adjusted
+// to the peak capacity reached while dropped (it grows with each drop for
+// KunServe).
 type Figure17Row struct {
 	Label string
 	// FirstViolation is when the mean TTFT first exceeded the SLO
 	// (5 x unloaded P50); zero when it never did.
 	FirstViolation sim.Time
-	// UsageGBSeries is the allocated KV per window.
-	UsageGBSeries []float64
-	// CapacityGB is the final KV capacity (grows with each drop for
-	// KunServe).
-	CapacityGB     float64
-	MeanTTFTSeries []float64
-	Drops          int
 	WorstMeanTTFT  float64
-	Finished       int
-	Unserved       int
+	runner.Summary
 }
 
 // Figure17Result is the §5.6 extreme-burst stress test.
@@ -56,37 +52,46 @@ func Figure17(cfg Config) (*Figure17Result, error) {
 	burstEnd := sim.FromSeconds(75.0 / 128 * dur)
 	tr := workload.RepeatBurst(base, burstStart, burstEnd, 4)
 
-	res := &Figure17Result{Window: 4 * sim.Second}
+	var defs []cellDef
 	for _, s := range []System{SysVLLMDP, SysKunServe} {
-		cl, err := cfg.Run(s, tr)
-		if err != nil {
-			return nil, err
-		}
-		col := cl.Collector
-		row := Figure17Row{
-			Label:      string(s),
-			CapacityGB: float64(cl.CapacityBytes()) / 1e9,
-			Finished:   col.TTFT.Count(),
-			Unserved:   cl.Outstanding(),
-		}
-		row.MeanTTFTSeries = col.MeanTTFT.MeanPerBin()
-		for _, v := range col.KVDemand.Values() {
-			row.UsageGBSeries = append(row.UsageGBSeries, v/1e9)
-		}
-		if ks, ok := cl.Policy.(*core.Policy); ok {
-			row.Drops = ks.Drops()
-			// Report the peak capacity reached while dropped (a
-			// post-drain restore shrinks it back). Each event's
-			// FreedBytes is the capacity delta it applied, so the
-			// peak is the base plus the best prefix sum.
+		sys := s
+		defs = append(defs, cellDef{string(sys), func() cluster.Policy { return NewPolicy(sys) }})
+	}
+	// Provision against the healthy base trace, not the replayed stress
+	// trace: capacity planning is done on pre-burst telemetry (§2.2), and
+	// sizing from the burst-dominated RepeatBurst average would damp the
+	// very overload this figure measures. (No-op without a spec, where
+	// provisioning derives from BaseRPS/dataset regardless of trace.)
+	set := runner.NewSet(cfg.Parallel)
+	for _, d := range defs {
+		set.Add(runner.Cell{
+			Key:       d.key,
+			Cluster:   cfg.clusterConfig(base),
+			NewPolicy: d.pol,
+			Trace:     tr,
+			Horizon:   tr.Duration().Add(cfg.HorizonSlack),
+		})
+	}
+	results, err := set.Execute()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure17Result{Window: 4 * sim.Second}
+	for i, r := range results {
+		row := Figure17Row{Label: defs[i].key, Summary: r.Summary}
+		// Report the peak capacity reached while dropped (a post-drain
+		// restore shrinks it back). Each event's FreedBytes is the
+		// capacity delta it applied, so the peak is the base plus the
+		// best prefix sum. vLLM has no events; its capacity is static.
+		if len(row.Events) > 0 {
 			var delta, best float64
-			for _, e := range ks.Events() {
+			for _, e := range row.Events {
 				delta += float64(e.FreedBytes)
 				if delta > best {
 					best = delta
 				}
 			}
-			base := float64(cl.CapacityBytes()) - delta
+			base := row.CapacityGB*1e9 - delta
 			row.CapacityGB = (base + best) / 1e9
 		}
 		// SLO: 5x the unloaded TTFT — the smallest positive window
@@ -103,12 +108,12 @@ func Figure17(cfg Config) (*Figure17Result, error) {
 			}
 			res.SLO = 5 * base
 		}
-		for i, v := range row.MeanTTFTSeries {
+		for j, v := range row.MeanTTFTSeries {
 			if v > row.WorstMeanTTFT {
 				row.WorstMeanTTFT = v
 			}
 			if row.FirstViolation == 0 && v > res.SLO {
-				row.FirstViolation = sim.Time(i) * sim.Time(res.Window)
+				row.FirstViolation = sim.Time(j) * sim.Time(res.Window)
 			}
 		}
 		res.Rows = append(res.Rows, row)
@@ -131,7 +136,7 @@ func PrintFigure17(w io.Writer, r *Figure17Result) {
 		}
 		fmt.Fprintf(w, "%-10s capacity %.0f GB, drops %d, first SLO violation %s, worst mean TTFT %.1fs\n",
 			row.Label, row.CapacityGB, row.Drops, viol, row.WorstMeanTTFT)
-		fmt.Fprintf(w, "  KV demand (GB): %s\n", fseries(row.UsageGBSeries, 1, "%.0f"))
+		fmt.Fprintf(w, "  KV demand (GB): %s\n", fseries(row.DemandGBSeries, 1, "%.0f"))
 		fmt.Fprintf(w, "  mean TTFT (s):  %s\n", fseries(row.MeanTTFTSeries, 1, "%.2f"))
 	}
 	if r.StandingRatio > 0 {

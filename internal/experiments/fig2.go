@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"kunserve/internal/cluster"
 	"kunserve/internal/sim"
 )
 
@@ -27,7 +28,8 @@ type Figure2Result struct {
 	PeakOverP50 map[string]float64
 }
 
-// Figure2 runs the three mechanisms on the same burst.
+// Figure2 runs the three mechanisms on the same burst as a concurrent run
+// matrix.
 func Figure2(cfg Config) (*Figure2Result, error) {
 	cfg = cfg.withDefaults()
 	tr, err := cfg.BuildTrace()
@@ -48,33 +50,37 @@ func Figure2(cfg Config) (*Figure2Result, error) {
 		{"Swap KVCache", SysInferCept},
 		{"Migrate KVCache", SysLlumnix},
 	}
-	for i, m := range mechanisms {
-		cl, err := cfg.Run(m.sys, tr)
-		if err != nil {
-			return nil, err
-		}
-		col := cl.Collector
-		res.MeanTTFT[m.label] = col.MeanTTFT.MeanPerBin()
-		p50 := col.TTFT.Percentile(50)
+	var defs []cellDef
+	for _, m := range mechanisms {
+		sys := m.sys
+		defs = append(defs, cellDef{m.label, func() cluster.Policy { return NewPolicy(sys) }})
+	}
+	results, err := cfg.runMatrix(tr, defs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		label := mechanisms[i].label
+		s := r.Summary
+		res.MeanTTFT[label] = s.MeanTTFTSeries
 		peak := 0.0
-		for _, v := range col.MeanTTFT.MeanPerBin() {
+		for _, v := range s.MeanTTFTSeries {
 			if v > peak {
 				peak = v
 			}
 		}
-		if p50 > 0 {
-			res.PeakOverP50[m.label] = peak / p50
+		if s.TTFTP50 > 0 {
+			res.PeakOverP50[label] = peak / s.TTFTP50
 		}
 		if i == 0 {
-			res.CapacityGB = float64(cl.CapacityBytes()) / 1e9
+			res.CapacityGB = s.CapacityGB
+			res.DemandGB = s.DemandGBSeries
 			var sum float64
-			vals := col.KVDemand.Values()
-			for _, v := range vals {
-				res.DemandGB = append(res.DemandGB, v/1e9)
+			for _, v := range s.DemandGBSeries {
 				sum += v
 			}
-			if len(vals) > 0 && res.CapacityGB > 0 {
-				res.AvgUsagePct = sum / float64(len(vals)) / 1e9 / res.CapacityGB * 100
+			if len(s.DemandGBSeries) > 0 && res.CapacityGB > 0 {
+				res.AvgUsagePct = sum / float64(len(s.DemandGBSeries)) / res.CapacityGB * 100
 			}
 		}
 	}

@@ -6,19 +6,16 @@ import (
 
 	"kunserve/internal/baselines"
 	"kunserve/internal/cluster"
+	"kunserve/internal/runner"
 )
 
 // Figure5Row is one CDF summary of Figure 5: serving latency under a given
 // static parameter-drop degree on 8 GPUs.
 type Figure5Row struct {
-	Label    string
-	DropPct  float64
-	Stages   int
-	TTFTP50  float64
-	TTFTP99  float64
-	TPOTP50  float64
-	TPOTP99  float64
-	Finished int
+	Label   string
+	DropPct float64
+	Stages  int
+	runner.Summary
 }
 
 // Figure5 compares DP (full copies) with statically dropping 50%, 75% and
@@ -35,41 +32,38 @@ func Figure5(cfg Config) ([]Figure5Row, error) {
 		dropPct float64
 		width   int
 	}
-	setups := []setup{
-		{"DP x %d (full)", 0, 1},
-		{"Drop 50%% layers", 50, 2},
-		{"Drop 75%% layers", 75, 4},
-		{"Drop 88%% layers", 88, 8},
+	var setups []setup
+	for _, s := range []setup{
+		{fmt.Sprintf("DP x %d (full)", cfg.Instances), 0, 1},
+		{"Drop 50% layers", 50, 2},
+		{"Drop 75% layers", 75, 4},
+		{"Drop 88% layers", 88, 8},
+	} {
+		if s.width <= cfg.Instances {
+			setups = append(setups, s)
+		}
+	}
+	var defs []cellDef
+	for _, s := range setups {
+		width := s.width
+		defs = append(defs, cellDef{s.label, func() cluster.Policy {
+			if width == 1 {
+				return baselines.VLLMDP{}
+			}
+			return baselines.StaticPP{Width: width}
+		}})
+	}
+	results, err := cfg.runMatrix(tr, defs)
+	if err != nil {
+		return nil, err
 	}
 	var rows []Figure5Row
-	for _, s := range setups {
-		if s.width > cfg.Instances {
-			continue
-		}
-		var pol cluster.Policy
-		if s.width == 1 {
-			pol = baselines.VLLMDP{}
-		} else {
-			pol = baselines.StaticPP{Width: s.width}
-		}
-		cl, err := cfg.RunPolicy(pol, tr)
-		if err != nil {
-			return nil, err
-		}
-		col := cl.Collector
-		label := s.label
-		if s.width == 1 {
-			label = fmt.Sprintf(s.label, cfg.Instances)
-		}
+	for i, r := range results {
 		rows = append(rows, Figure5Row{
-			Label:    label,
-			DropPct:  s.dropPct,
-			Stages:   s.width,
-			TTFTP50:  col.TTFT.Percentile(50),
-			TTFTP99:  col.TTFT.Percentile(99),
-			TPOTP50:  col.TPOT.Percentile(50),
-			TPOTP99:  col.TPOT.Percentile(99),
-			Finished: col.TTFT.Count(),
+			Label:   setups[i].label,
+			DropPct: setups[i].dropPct,
+			Stages:  setups[i].width,
+			Summary: r.Summary,
 		})
 	}
 	return rows, nil

@@ -42,6 +42,96 @@ func TestDistBasics(t *testing.T) {
 	}
 }
 
+func TestDistEmptyEdgeCases(t *testing.T) {
+	var d Dist
+	if d.Percentile(0) != 0 || d.Percentile(50) != 0 || d.Percentile(100) != 0 {
+		t.Error("empty percentiles")
+	}
+	if d.Mean() != 0 || d.Max() != 0 {
+		t.Error("empty mean/max")
+	}
+	if d.ViolationRatio(0) != 0 || d.ViolationRatio(1e18) != 0 {
+		t.Error("empty violation ratio")
+	}
+}
+
+func TestDistPercentileBounds(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{2, 8, 4} {
+		d.Add(v)
+	}
+	// p <= 0 clamps to the minimum, p >= 100 to the maximum.
+	for _, p := range []float64{-5, 0} {
+		if got := d.Percentile(p); got != 2 {
+			t.Errorf("p%v = %v, want 2", p, got)
+		}
+	}
+	for _, p := range []float64{100, 150} {
+		if got := d.Percentile(p); got != 8 {
+			t.Errorf("p%v = %v, want 8", p, got)
+		}
+	}
+	if got := d.Percentile(1e-9); got != 2 {
+		t.Errorf("tiny p = %v, want first sample", got)
+	}
+}
+
+// Interleaving Add with Percentile must re-sort on every query after a
+// mutation: the sorted flag cannot go stale.
+func TestDistInterleavedAddResort(t *testing.T) {
+	var d Dist
+	d.Add(5)
+	if got := d.Percentile(100); got != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	d.Add(1)
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("min after add = %v", got)
+	}
+	d.Add(10)
+	if got := d.Percentile(100); got != 10 {
+		t.Fatalf("max after add = %v", got)
+	}
+	d.Add(7)
+	// samples {1,5,7,10}: nearest-rank p50 = ceil(2) -> 5, p75 -> 7.
+	if got := d.Percentile(50); got != 5 {
+		t.Fatalf("p50 after interleaved adds = %v", got)
+	}
+	if got := d.Percentile(75); got != 7 {
+		t.Fatalf("p75 after interleaved adds = %v", got)
+	}
+	if d.Count() != 4 || d.Mean() != 5.75 {
+		t.Fatalf("count/mean = %d/%v", d.Count(), d.Mean())
+	}
+}
+
+// Observations may arrive with non-monotone timestamps (parallel summaries,
+// out-of-order completions): earlier bins must still accumulate after later
+// bins have grown the series.
+func TestSeriesObserveOutOfOrder(t *testing.T) {
+	s := NewSeries(10 * sim.Second)
+	s.Observe(sim.FromSeconds(25), 6)
+	s.Observe(sim.FromSeconds(5), 2)
+	s.Observe(sim.FromSeconds(7), 4)
+	if s.Bins() != 3 {
+		t.Fatalf("bins = %d", s.Bins())
+	}
+	if sums := s.Sum(); sums[0] != 6 || sums[1] != 0 || sums[2] != 6 {
+		t.Fatalf("sums = %v", sums)
+	}
+	if means := s.MeanPerBin(); means[0] != 3 || means[1] != 0 || means[2] != 6 {
+		t.Fatalf("means = %v", means)
+	}
+
+	m := NewMaxSeries(10 * sim.Second)
+	m.Observe(sim.FromSeconds(25), 3)
+	m.Observe(sim.FromSeconds(5), 9)
+	m.Observe(sim.FromSeconds(8), 1)
+	if v := m.Values(); v[0] != 9 || v[1] != 0 || v[2] != 3 {
+		t.Fatalf("max values = %v", v)
+	}
+}
+
 func TestDistPercentileNearestRank(t *testing.T) {
 	var d Dist
 	for i := 1; i <= 100; i++ {

@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kunserve/internal/baselines"
+	"kunserve/internal/cluster"
+	"kunserve/internal/gpu"
+	"kunserve/internal/model"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+)
+
+func testTrace() *workload.Trace { return seededTrace(7) }
+
+func seededTrace(seed int64) *workload.Trace {
+	return workload.Generate(seed, 16*sim.Second, workload.SteadySchedule(2), workload.BurstGPTDataset())
+}
+
+func testCell(key string, seed int64, tr *workload.Trace) Cell {
+	return Cell{
+		Key: key,
+		Cluster: cluster.Config{
+			Seed:             seed,
+			Model:            model.Qwen25_14B(),
+			GPU:              gpu.A800(),
+			Instances:        2,
+			KVProvisionBytes: 8 << 30,
+		},
+		NewPolicy: func() cluster.Policy { return baselines.VLLMDP{} },
+		Trace:     tr,
+		Horizon:   tr.Duration().Add(30 * sim.Second),
+	}
+}
+
+func summaries(results []Result) []Summary {
+	out := make([]Summary, len(results))
+	for i, r := range results {
+		out[i] = r.Summary
+	}
+	return out
+}
+
+// The determinism guarantee: a run set executed across many workers is
+// bit-identical to sequential execution, cell for cell.
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	build := func(parallel int) *Set {
+		s := NewSet(parallel)
+		for i, seed := range []int64{1, 2, 3, 4, 5, 6} {
+			s.Add(testCell(strings.Repeat("c", i+1), seed, seededTrace(seed)))
+		}
+		return s
+	}
+	seq, err := build(1).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build(8).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 6 || len(par) != 6 {
+		t.Fatalf("results %d/%d", len(seq), len(par))
+	}
+	if !reflect.DeepEqual(summaries(seq), summaries(par)) {
+		t.Error("parallel summaries differ from sequential")
+	}
+	for i, r := range seq {
+		if r.Summary.Finished == 0 {
+			t.Errorf("cell %d finished nothing", i)
+		}
+		if r.Summary.TTFTP50 > r.Summary.TTFTP99 {
+			t.Errorf("cell %d: P50 %.4f > P99 %.4f", i, r.Summary.TTFTP50, r.Summary.TTFTP99)
+		}
+	}
+	// Different seeds must actually produce different worlds, or the
+	// equality above proves nothing.
+	if reflect.DeepEqual(seq[0].Summary.TTFTs, seq[1].Summary.TTFTs) {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+// Results come back in submission order with per-cell errors kept in place
+// and aggregated into the joined error.
+func TestExecuteErrorAggregation(t *testing.T) {
+	tr := testTrace()
+	set := NewSet(4)
+	set.Add(testCell("good-1", 1, tr))
+	bad := testCell("bad", 2, tr)
+	bad.NewPolicy = nil
+	bad.Cluster.Policy = nil // cluster.New rejects a nil policy
+	set.Add(bad)
+	set.Add(testCell("good-2", 3, tr))
+	if set.Len() != 3 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	results, err := set.Execute()
+	if err == nil || !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("joined error %v does not name the failing cell", err)
+	}
+	wantKeys := []string{"good-1", "bad", "good-2"}
+	for i, r := range results {
+		if r.Key != wantKeys[i] {
+			t.Errorf("result %d key %q, want %q", i, r.Key, wantKeys[i])
+		}
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("good cells reported errors")
+	}
+	if results[1].Err == nil || results[1].Cluster != nil {
+		t.Error("bad cell: want error and nil cluster")
+	}
+	if results[0].Summary.Finished == 0 || results[2].Summary.Finished == 0 {
+		t.Error("good cells did not run")
+	}
+}
+
+// Panics inside the simulated world surface as cell errors, not process
+// crashes, so one bad cell cannot take down a whole sweep.
+func TestRunRecoversPanic(t *testing.T) {
+	c := testCell("nil-trace", 1, testTrace())
+	c.Trace = nil // Serve dereferences the trace: panics
+	res := Run(c)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "panicked") {
+		t.Fatalf("err = %v, want recovered panic", res.Err)
+	}
+	if res.Cluster != nil {
+		t.Error("cluster should be nil after panic")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed(42, "rep=1")
+	if a != DeriveSeed(42, "rep=1") {
+		t.Error("not stable")
+	}
+	if a == DeriveSeed(42, "rep=2") {
+		t.Error("keys collide")
+	}
+	if a == DeriveSeed(43, "rep=1") {
+		t.Error("bases collide")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(0, strings.Repeat("x", i%7)+string(rune('a'+i%26)))
+		if s <= 0 {
+			t.Fatalf("seed %d not positive", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct seeds", len(seen))
+	}
+}

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"kunserve/internal/cluster"
+	"kunserve/internal/core"
+)
+
+// Summary is the unified scrape of one run's metrics.Collector plus the
+// cluster-level numbers the evaluation figures report. It replaces the
+// per-figure ad-hoc row extraction: every experiment reads the same fields,
+// and the -json CLI mode marshals it directly.
+type Summary struct {
+	// Key echoes the cell key the summary came from.
+	Key string `json:",omitempty"`
+
+	// Finished counts completed requests; Unserved counts requests still
+	// outstanding at the horizon.
+	Finished int
+	Unserved int
+
+	// Latency percentiles in seconds (nearest-rank over finished
+	// requests; TPOT skips single-token outputs).
+	TTFTP50, TTFTP90, TTFTP99, TTFTP999 float64
+	TPOTP50, TPOTP90, TPOTP99, TPOTP999 float64
+
+	// Throughput is overall generated tokens/second across the run span.
+	Throughput float64
+
+	// Time series at the collector's window: mean TTFT per bin (s),
+	// token rate per bin (tokens/s), and peak KV demand per bin (GB).
+	MeanTTFTSeries   []float64
+	ThroughputSeries []float64
+	DemandGBSeries   []float64
+
+	// CapacityGB is the cluster KV capacity after the run (parameter
+	// drops grow it; restores shrink it back).
+	CapacityGB float64
+
+	// BubbleRatio is the mean GPU idle fraction across pipelined groups
+	// (zero when nothing pipelined).
+	BubbleRatio float64
+
+	// Reconfiguration log (KunServe policies only; zero otherwise).
+	Drops    int
+	Restores int
+	Events   []core.Event `json:",omitempty"`
+
+	// Per-record latencies, index-aligned, for SLO recomputation under
+	// arbitrary limits (Figure 13). Excluded from JSON: the quantiles and
+	// series above are the machine-readable summary.
+	TTFTs   []float64 `json:"-"`
+	TPOTs   []float64 `json:"-"`
+	Outputs []int     `json:"-"`
+}
+
+// Summarize scrapes a served cluster into a Summary.
+func Summarize(cl *cluster.Cluster) Summary {
+	col := cl.Collector
+	s := Summary{
+		Finished:         col.TTFT.Count(),
+		Unserved:         cl.Outstanding(),
+		TTFTP50:          col.TTFT.Percentile(50),
+		TTFTP90:          col.TTFT.Percentile(90),
+		TTFTP99:          col.TTFT.Percentile(99),
+		TTFTP999:         col.TTFT.Percentile(99.9),
+		TPOTP50:          col.TPOT.Percentile(50),
+		TPOTP90:          col.TPOT.Percentile(90),
+		TPOTP99:          col.TPOT.Percentile(99),
+		TPOTP999:         col.TPOT.Percentile(99.9),
+		Throughput:       col.ThroughputTokensPerSec(),
+		MeanTTFTSeries:   col.MeanTTFT.MeanPerBin(),
+		ThroughputSeries: col.Tokens.RatePerSecond(),
+		CapacityGB:       float64(cl.CapacityBytes()) / 1e9,
+	}
+	for _, rec := range col.Records {
+		s.TTFTs = append(s.TTFTs, rec.TTFT())
+		s.TPOTs = append(s.TPOTs, rec.TPOT())
+		s.Outputs = append(s.Outputs, rec.OutputTokens)
+	}
+	for _, v := range col.KVDemand.Values() {
+		s.DemandGBSeries = append(s.DemandGBSeries, v/1e9)
+	}
+	if ks, ok := cl.Policy.(*core.Policy); ok {
+		s.Drops = ks.Drops()
+		s.Restores = ks.Restores()
+		s.Events = ks.Events()
+	}
+	var ratios []float64
+	for _, g := range cl.Groups() {
+		if g.Stages() > 1 && g.Engine().SpanTime() > 0 {
+			ratios = append(ratios, g.Engine().BubbleRatio())
+		}
+	}
+	for _, r := range ratios {
+		s.BubbleRatio += r / float64(len(ratios))
+	}
+	return s
+}
