@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|all \
+//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|slo|all \
 //	    [-scale quick|full|clusterb] [-dataset burstgpt|sharegpt|longbench] \
 //	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT] \
-//	    [-parallel N] [-json] [-sweep key=lo:hi:step] [-spec workload.json]
+//	    [-parallel N] [-json] [-sweep key=lo:hi:step] [-spec workload.json] \
+//	    [-router least-loaded|round-robin|p2c|least-kv|affinity] \
+//	    [-queue fcfs|priority|edf]
 //
 // -parallel bounds the worker pool the experiment run matrices execute on
 // (default GOMAXPROCS); results are bit-identical whatever the value.
@@ -15,8 +17,14 @@
 // load=0.5:2.0:0.25, or seed=1:32:1 for confidence bands) instead of a
 // figure. -spec drives the experiments' trace from a declarative workload
 // spec (multi-client mixes, gamma/weibull/diurnal/mmpp arrivals, trace
-// replay; see internal/workload/spec and examples/specs/) instead of the
-// default BurstGPT burst schedule.
+// replay, per-class SLO targets; see internal/workload/spec and
+// examples/specs/) instead of the default BurstGPT burst schedule.
+// -router and -queue select the scheduling layer's dispatch router and
+// per-group wait-queue discipline (internal/sched); the defaults reproduce
+// the original least-loaded + FCFS path byte-identically. -exp slo runs
+// the multi-tenant SLO-attainment experiment (disciplines x systems on a
+// two-class workload, per-class attainment and goodput); it is not part of
+// "all" so that "all" output stays comparable across versions.
 package main
 
 import (
@@ -29,13 +37,15 @@ import (
 	"strings"
 
 	"kunserve/internal/experiments"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 	"kunserve/internal/workload/spec"
 )
 
-// validExps lists every -exp value, in the order "all" runs them.
-var validExps = []string{"table1", "fig2", "fig5", "fig12", "fig13", "fig12+13", "fig14", "fig15", "fig16", "fig17", "all"}
+// validExps lists every -exp value. "all" runs the paper figures; the slo
+// experiment is standalone so "all" output stays stable across versions.
+var validExps = []string{"table1", "fig2", "fig5", "fig12", "fig13", "fig12+13", "fig14", "fig15", "fig16", "fig17", "slo", "all"}
 
 func main() {
 	var (
@@ -50,6 +60,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON summaries instead of paper-style text")
 		sweepFlag = flag.String("sweep", "", "run a parameter sweep key=lo:hi:step (keys: "+strings.Join(experiments.SweepKeys, ", ")+") over the five systems")
 		specFile  = flag.String("spec", "", "workload spec JSON driving the experiment trace")
+		router    = flag.String("router", "", "dispatch router: "+strings.Join(sched.RouterNames, ", ")+" (default least-loaded)")
+		queue     = flag.String("queue", "", "wait-queue discipline: "+strings.Join(sched.DisciplineNames, ", ")+" (default fcfs)")
 	)
 	flag.Parse()
 
@@ -90,6 +102,15 @@ func main() {
 		cfg.LoadMultiplier = *load
 	}
 	cfg.Parallel = *parallel
+	cfg.Router = *router
+	cfg.Queue = *queue
+	if err := cfg.ValidateSched(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *exp == "slo" && *queue != "" {
+		fmt.Fprintln(os.Stderr, "note: -exp slo compares every discipline (fcfs, priority, edf); -queue is ignored there")
+	}
 	if *specFile != "" {
 		// The spec's own seed, duration, and rates govern the trace;
 		// -seed still seeds the cluster and -load still scales KV
@@ -230,6 +251,12 @@ func runExp(name string, cfg experiments.Config) ([]artifact, error) {
 			return nil, err
 		}
 		return one("fig17", r, func(w io.Writer) { experiments.PrintFigure17(w, r) }), nil
+	case "slo":
+		r, err := experiments.ExperimentSLO(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("slo", r, func(w io.Writer) { experiments.PrintExperimentSLO(w, r) }), nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -40,6 +40,9 @@ func main() {
 		len(trace.Requests), trace.AvgRPS(), len(c.Instances))
 
 	col := c.Serve(trace, trace.Duration().Add(120*sim.Second))
+	if err := c.Err(); err != nil {
+		log.Fatalf("serve dropped requests: %v", err)
+	}
 
 	fmt.Printf("finished %d/%d requests\n", col.TTFT.Count(), len(trace.Requests))
 	fmt.Printf("TTFT  P50 %.3fs  P99 %.3fs\n", col.TTFT.Percentile(50), col.TTFT.Percentile(99))

@@ -18,6 +18,7 @@ import (
 	"kunserve/internal/model"
 	"kunserve/internal/network"
 	"kunserve/internal/request"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 )
@@ -43,6 +44,19 @@ type Config struct {
 	KVProvisionBytes int64
 	// Policy is the overload-handling mechanism under test.
 	Policy Policy
+	// NewRouter builds the dispatch router; nil selects the default
+	// least-loaded router. Called once per cluster with the cluster seed,
+	// so stateful routers (round-robin cursors, p2c RNGs) are never
+	// shared across concurrently executing cells.
+	NewRouter func(seed int64) sched.Router
+	// NewDiscipline builds a group's wait-queue discipline; nil selects
+	// FCFS. Called once per group (including groups formed by
+	// reconfiguration), so disciplines are never shared.
+	NewDiscipline func() sched.Discipline
+	// SLOClasses maps SLO class names to their targets: deadline-driven
+	// disciplines read the TTFT targets, and per-class attainment
+	// metrics are computed against them.
+	SLOClasses sched.ClassTargets
 }
 
 func (c *Config) withDefaults() Config {
@@ -75,8 +89,15 @@ type Cluster struct {
 	Collector *metrics.Collector
 	Policy    Policy
 
+	// SLOClasses carries the per-class targets the cluster was built
+	// with (possibly empty); summaries compute attainment against it.
+	SLOClasses sched.ClassTargets
+
 	BlockTokens int
 	Budget      batching.Budget
+
+	router        sched.Router
+	newDiscipline func() sched.Discipline
 
 	groups      []*Group
 	nextGroupID int
@@ -84,6 +105,17 @@ type Cluster struct {
 	monitorInterval sim.Duration
 	outstanding     int
 	horizonReached  bool
+
+	// Dispatch failures (no live group) are recorded here instead of
+	// crashing the run; the runner surfaces them per cell.
+	dispatchErr     error
+	dispatchDropped int
+
+	// Dispatch scratch space, reused per call (a cluster is
+	// single-threaded inside its simulation): the replaced inlined loop
+	// was allocation-free and the dispatcher is on every arrival's path.
+	routeCands   []sched.Candidate
+	routeTargets []*Group
 
 	// HostParamReplica reflects §4.4 fault tolerance: parameters are
 	// replicated in host DRAM so restoration always succeeds.
@@ -108,11 +140,25 @@ func New(cfg Config) (*Cluster, error) {
 		Model:            cfg.Model,
 		GPU:              cfg.GPU,
 		Policy:           cfg.Policy,
+		SLOClasses:       cfg.SLOClasses,
 		BlockTokens:      cfg.BlockTokens,
 		Budget:           cfg.Budget,
 		monitorInterval:  cfg.MonitorInterval,
 		Collector:        metrics.NewCollector(cfg.MetricsWindow),
 		HostParamReplica: true,
+		router:           sched.NewLeastLoaded(),
+		newDiscipline:    sched.NewFCFS,
+	}
+	if cfg.NewRouter != nil {
+		if c.router = cfg.NewRouter(cfg.Seed); c.router == nil {
+			return nil, fmt.Errorf("cluster: NewRouter returned nil")
+		}
+	}
+	if cfg.NewDiscipline != nil {
+		c.newDiscipline = cfg.NewDiscipline
+		if c.newDiscipline() == nil {
+			return nil, fmt.Errorf("cluster: NewDiscipline returned nil")
+		}
 	}
 	c.Fabric = network.NewFabric(c.Sim, cfg.Instances, cfg.NetBandwidth, network.DefaultLatency)
 	for i := 0; i < cfg.Instances; i++ {
@@ -186,24 +232,62 @@ func (c *Cluster) Outstanding() int { return c.outstanding }
 
 func (c *Cluster) requestFinished() { c.outstanding-- }
 
-// Dispatch routes a request to the least-loaded live group (the
-// Llumnix-style load-balancing dispatcher every system shares, §3).
-func (c *Cluster) Dispatch(r *request.Request) {
-	var best *Group
-	var bestLoad float64
+// Router returns the dispatch router in use.
+func (c *Cluster) Router() sched.Router { return c.router }
+
+// Dispatch routes a request to a live group through the cluster's router
+// (least-loaded by default: the Llumnix-style load-balancing dispatcher
+// every system shares, §3). It returns an error instead of crashing when
+// no live group exists; Serve aggregates such errors into Err.
+func (c *Cluster) Dispatch(r *request.Request) error {
+	cands := c.routeCands[:0]
+	targets := c.routeTargets[:0]
 	for _, g := range c.groups {
 		if g.closed {
 			continue
 		}
-		load := float64(g.DemandTokens()) / float64(g.CapacityTokens())
-		if best == nil || load < bestLoad {
-			best, bestLoad = g, load
-		}
+		cands = append(cands, sched.Candidate{
+			ID:             g.ID,
+			DemandTokens:   g.DemandTokens(),
+			CapacityTokens: g.CapacityTokens(),
+		})
+		targets = append(targets, g)
 	}
-	if best == nil {
-		panic("cluster: no live groups to dispatch to")
+	c.routeCands, c.routeTargets = cands, targets
+	if len(cands) == 0 {
+		return fmt.Errorf("cluster: no live groups to dispatch request %d to", r.ID)
 	}
-	best.Enqueue(r)
+	idx := c.router.Route(r, cands)
+	if idx < 0 || idx >= len(targets) {
+		return fmt.Errorf("cluster: router %s chose candidate %d of %d",
+			c.router.Name(), idx, len(cands))
+	}
+	targets[idx].Enqueue(r)
+	return nil
+}
+
+// noteDispatchError records a failed dispatch: the request is dropped from
+// the run (it counts as unserved) and the first cause is kept for Err.
+func (c *Cluster) noteDispatchError(err error) {
+	c.dispatchDropped++
+	c.outstanding--
+	if c.dispatchErr == nil {
+		c.dispatchErr = err
+	}
+}
+
+// Err returns the aggregated dispatch failures of the run, nil when every
+// request reached a group. The runner folds it into its per-cell error
+// aggregation so one sick cell reports instead of crashing a whole set.
+func (c *Cluster) Err() error {
+	if c.dispatchErr == nil {
+		return nil
+	}
+	if c.dispatchDropped > 1 {
+		return fmt.Errorf("cluster: %d requests undispatchable; first: %w",
+			c.dispatchDropped, c.dispatchErr)
+	}
+	return c.dispatchErr
 }
 
 // DemandBytes returns cluster-wide KV memory demand in bytes.
@@ -256,14 +340,19 @@ func (c *Cluster) monitorTick() {
 
 // Serve dispatches the trace and runs the simulation until horizon (or
 // until the event queue drains past it). It returns the collector for
-// analysis.
+// analysis. Callers should consult Err afterwards: requests that found no
+// live group to dispatch to are dropped from the run and reported there
+// rather than panicking mid-simulation.
 func (c *Cluster) Serve(tr *workload.Trace, horizon sim.Time) *metrics.Collector {
 	c.outstanding = len(tr.Requests)
 	for _, wr := range tr.Requests {
 		wr := wr
 		c.Sim.At(wr.Arrival, fmt.Sprintf("arrive:%d", wr.ID), func() {
 			r := request.New(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen)
-			c.Dispatch(r)
+			r.Client, r.Class = wr.Client, wr.Class
+			if err := c.Dispatch(r); err != nil {
+				c.noteDispatchError(err)
+			}
 		})
 	}
 	c.Sim.After(c.monitorInterval, "monitor", c.monitorTick)
@@ -307,7 +396,7 @@ func TransplantRequests(dst *Group, running, waiting []*request.Request, stalled
 	}
 	for _, r := range waiting {
 		r.GroupID = dst.ID
-		dst.waitQ = append(dst.waitQ, r)
+		dst.queue.Push(r)
 	}
 }
 

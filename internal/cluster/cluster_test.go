@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"kunserve/internal/gpu"
+	"kunserve/internal/kvcache"
 	"kunserve/internal/model"
 	"kunserve/internal/request"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 )
@@ -235,7 +238,9 @@ func TestDrainAndTransplant(t *testing.T) {
 		wr := wr
 		c.Sim.At(wr.Arrival, "arrive", func() {
 			c.outstanding++
-			c.Dispatch(request.New(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen))
+			if err := c.Dispatch(request.New(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen)); err != nil {
+				t.Error(err)
+			}
 		})
 	}
 	merged := false
@@ -326,4 +331,179 @@ func TestGroupByIDAndRemove(t *testing.T) {
 	if c.GroupByID(999) != nil {
 		t.Error("phantom group")
 	}
+}
+
+// Dispatch with no live groups returns an error instead of panicking, and
+// Serve aggregates the failures into Err so the runner can surface them
+// per cell without crashing a whole run set.
+func TestDispatchNoLiveGroupsErrors(t *testing.T) {
+	c := testCluster(t, 1, recomputePolicy{})
+	g := c.Groups()[0]
+	g.ExtractRequests()
+	c.RemoveGroup(g)
+	if err := c.Dispatch(request.New(1, 0, 128, 8)); err == nil {
+		t.Fatal("dispatch with no live groups must error")
+	}
+	if c.Err() != nil {
+		t.Error("direct Dispatch errors must not pollute the run error")
+	}
+	c.Serve(smallTrace(3, 0.1, 128, 8), sim.FromSeconds(10))
+	err := c.Err()
+	if err == nil {
+		t.Fatal("Serve did not record dispatch failures")
+	}
+	if !strings.Contains(err.Error(), "3 requests") {
+		t.Errorf("err %q does not aggregate the drop count", err)
+	}
+	if c.Outstanding() != 0 {
+		t.Errorf("outstanding = %d; dropped requests must not dangle", c.Outstanding())
+	}
+}
+
+// The cluster builds its router and per-group disciplines from the config
+// factories, defaulting to least-loaded + FCFS, and rejects nil factories.
+func TestRouterAndDisciplineWiring(t *testing.T) {
+	def := testCluster(t, 1, recomputePolicy{})
+	if def.Router().Name() != "least-loaded" {
+		t.Errorf("default router %q", def.Router().Name())
+	}
+	if def.Groups()[0].Queue().Name() != "fcfs" {
+		t.Errorf("default discipline %q", def.Groups()[0].Queue().Name())
+	}
+	cfg := Config{
+		Seed: 1, Model: model.Qwen25_14B(), GPU: gpu.A800(), Instances: 2,
+		Policy:        recomputePolicy{},
+		NewRouter:     func(int64) sched.Router { return sched.NewRoundRobin() },
+		NewDiscipline: func() sched.Discipline { return sched.NewPriority(nil) },
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Router().Name() != "round-robin" {
+		t.Errorf("router %q", c.Router().Name())
+	}
+	for _, g := range c.Groups() {
+		if g.Queue().Name() != "priority" {
+			t.Errorf("group %d discipline %q", g.ID, g.Queue().Name())
+		}
+	}
+	bad := cfg
+	bad.NewRouter = func(int64) sched.Router { return nil }
+	if _, err := New(bad); err == nil {
+		t.Error("nil router accepted")
+	}
+	bad = cfg
+	bad.NewDiscipline = func() sched.Discipline { return nil }
+	if _, err := New(bad); err == nil {
+		t.Error("nil discipline accepted")
+	}
+}
+
+// Client/Class tags flow from the workload trace through dispatch into the
+// finished-request records (they were silently dropped before the sched
+// layer landed).
+func TestServeCarriesClientAndClassTags(t *testing.T) {
+	c := testCluster(t, 1, recomputePolicy{})
+	tr := smallTrace(4, 0.5, 256, 8)
+	for i := range tr.Requests {
+		tr.Requests[i].Client = "tenant"
+		tr.Requests[i].Class = "strict"
+	}
+	col := c.Serve(tr, sim.FromSeconds(60))
+	if col.TTFT.Count() != 4 {
+		t.Fatalf("finished = %d", col.TTFT.Count())
+	}
+	for _, rec := range col.Records {
+		if rec.Client != "tenant" || rec.Class != "strict" {
+			t.Fatalf("record %d lost tags: %q/%q", rec.ID, rec.Client, rec.Class)
+		}
+	}
+	if got := col.ClassNames(); len(got) != 1 || got[0] != "strict" {
+		t.Errorf("ClassNames = %v", got)
+	}
+	if col.ClassTTFT["strict"].Count() != 4 {
+		t.Errorf("class TTFT count = %d", col.ClassTTFT["strict"].Count())
+	}
+}
+
+// TransplantRequests edge paths: a running request that lost its sequence
+// recomputes, one whose KV cannot fit the destination falls back to
+// recompute, a stalled request keeps its stall bookkeeping, and waiting
+// requests join in order.
+func TestTransplantRequestsEdgePaths(t *testing.T) {
+	c := testCluster(t, 2, recomputePolicy{})
+	g0, g1 := c.Groups()[0], c.Groups()[1]
+	// Freeze the destination so assertions observe the transplanted state
+	// rather than whatever an immediately started round does with it.
+	g1.Drain(func() {})
+
+	// Nil-Seq recompute path.
+	lost := request.New(1, 0, 512, 32)
+	lost.SetState(request.StateRunning)
+	TransplantRequests(g1, []*request.Request{lost}, nil, nil)
+	if lost.State() != request.StateQueued || lost.GroupID != g1.ID {
+		t.Errorf("nil-Seq: state %v group %d", lost.State(), lost.GroupID)
+	}
+	if g1.QueueLen() != 1 {
+		t.Errorf("nil-Seq: queue len %d", g1.QueueLen())
+	}
+
+	// NewSeq-failure fallback: the request's KV footprint exceeds the
+	// destination pool, so it frees its sequence and recomputes.
+	huge := request.New(2, 0, 512, 32)
+	huge.SetState(request.StateRunning)
+	srcPool := kvcache.NewPool(g1.CapacityTokens()/64+8, 64)
+	seq, err := srcPool.NewSeq(g1.CapacityTokens() + 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge.Seq = seq
+	TransplantRequests(g1, []*request.Request{huge}, nil, nil)
+	if huge.Seq != nil || huge.State() != request.StateQueued || huge.Preemptions != 1 {
+		t.Errorf("fallback: seq %v state %v preemptions %d",
+			huge.Seq, huge.State(), huge.Preemptions)
+	}
+	if srcPool.LiveSequences() != 0 {
+		t.Error("fallback leaked the source sequence")
+	}
+
+	// Stalled request keeps its stall bookkeeping; a healthy running
+	// request is adopted unstalled.
+	mkRunning := func(id int) *request.Request {
+		r := request.New(id, 0, 128, 16)
+		r.SetState(request.StateRunning)
+		s, err := srcPool.NewSeq(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Seq = s
+		return r
+	}
+	stalledReq, runningReq := mkRunning(3), mkRunning(4)
+	stalledReq.SetState(request.StateSwapped)
+	TransplantRequests(g1,
+		[]*request.Request{stalledReq, runningReq}, nil,
+		map[int]*request.Request{stalledReq.ID: stalledReq})
+	if !g1.IsStalled(stalledReq) {
+		t.Error("stalled request lost its stall bookkeeping")
+	}
+	if g1.IsStalled(runningReq) {
+		t.Error("healthy request became stalled")
+	}
+	if g1.RunningLen() != 2 {
+		t.Errorf("running len %d, want 2", g1.RunningLen())
+	}
+
+	// Waiting requests join the queue in order behind earlier arrivals.
+	w1, w2 := request.New(5, 0, 128, 16), request.New(6, 0, 128, 16)
+	TransplantRequests(g1, nil, []*request.Request{w1, w2}, nil)
+	waiting := g1.WaitingRequests()
+	if len(waiting) != 4 {
+		t.Fatalf("queue len %d, want 4", len(waiting))
+	}
+	if waiting[2] != w1 || waiting[3] != w2 {
+		t.Error("waiting requests out of order")
+	}
+	_ = g0
 }

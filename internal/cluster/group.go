@@ -10,6 +10,7 @@ import (
 	"kunserve/internal/metrics"
 	"kunserve/internal/pipeline"
 	"kunserve/internal/request"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 )
 
@@ -18,7 +19,8 @@ import (
 // multi-instance group (after a parameter drop, or the static PP baseline)
 // executes with pipeline parallelism.
 //
-// The group runs scheduling rounds: admit waiting requests FCFS, form one
+// The group runs scheduling rounds: admit waiting requests in the wait
+// queue discipline's order (FCFS by default; see internal/sched), form one
 // iteration batch with chunked prefill, reserve KVCache for the new tokens
 // (invoking the policy under memory pressure), execute — directly or
 // pipelined — then apply token-level bookkeeping and start the next round.
@@ -30,7 +32,7 @@ type Group struct {
 	engine    *pipeline.Engine
 	pool      *kvcache.Pool
 
-	waitQ   []*request.Request
+	queue   sched.Discipline
 	running []*request.Request
 	stalled map[int]*request.Request
 
@@ -72,6 +74,7 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 		ID:          id,
 		cl:          cl,
 		instances:   insts,
+		queue:       cl.newDiscipline(),
 		stalled:     make(map[int]*request.Request),
 		lockedRound: make(map[int]bool),
 	}
@@ -112,12 +115,13 @@ func (g *Group) Running() []*request.Request {
 	return out
 }
 
-// WaitingRequests returns a copy of the wait queue.
+// WaitingRequests returns a copy of the wait queue in dispatch order.
 func (g *Group) WaitingRequests() []*request.Request {
-	out := make([]*request.Request, len(g.waitQ))
-	copy(out, g.waitQ)
-	return out
+	return g.queue.Items()
 }
+
+// Queue returns the group's wait-queue discipline.
+func (g *Group) Queue() sched.Discipline { return g.queue }
 
 // IsStalled reports whether a request is currently stalled in this group.
 func (g *Group) IsStalled(r *request.Request) bool { return g.stalled[r.ID] != nil }
@@ -138,22 +142,23 @@ func (g *Group) Closed() bool { return g.closed }
 func (g *Group) Executing() bool { return g.executing }
 
 // QueueLen returns the number of waiting requests.
-func (g *Group) QueueLen() int { return len(g.waitQ) }
+func (g *Group) QueueLen() int { return g.queue.Len() }
 
 // RunningLen returns the number of admitted requests.
 func (g *Group) RunningLen() int { return len(g.running) }
 
-// Enqueue adds a request to the tail of the wait queue.
+// Enqueue adds a request to the wait queue under the group's discipline.
 func (g *Group) Enqueue(r *request.Request) {
 	r.GroupID = g.ID
-	g.waitQ = append(g.waitQ, r)
+	g.queue.Push(r)
 	g.Wake()
 }
 
-// enqueueFront re-queues a preempted request ahead of new arrivals.
+// enqueueFront re-queues a preempted request ahead of new arrivals (FCFS
+// places it literally first; ordered disciplines fold it into their order).
 func (g *Group) enqueueFront(r *request.Request) {
 	r.GroupID = g.ID
-	g.waitQ = append([]*request.Request{r}, g.waitQ...)
+	g.queue.PushFront(r)
 }
 
 // Wake starts a scheduling round if the group is idle.
@@ -259,9 +264,9 @@ func (g *Group) DemandTokens() int {
 		}
 		d += committed
 	}
-	for _, r := range g.waitQ {
+	g.queue.Each(func(r *request.Request) {
 		d += r.PrefillTarget()
-	}
+	})
 	return d
 }
 
@@ -274,17 +279,19 @@ func (g *Group) maxRunning() int {
 	return g.cl.Budget.MaxSeqs * g.Stages()
 }
 
-// admit moves waiting requests into the running set FCFS while their
-// prompts fit in free KV blocks.
+// admit moves waiting requests into the running set in the discipline's
+// dispatch order while their prompts fit in free KV blocks. Admission is
+// head-of-line: when the head does not fit, nothing behind it is admitted
+// (every discipline defines fairness by defining the head).
 func (g *Group) admit() {
-	for len(g.waitQ) > 0 {
+	for g.queue.Len() > 0 {
 		if len(g.running) >= g.maxRunning() {
 			return
 		}
-		r := g.waitQ[0]
+		r := g.queue.Peek()
 		if r.Done() {
 			// Finished elsewhere (shouldn't happen) — drop defensively.
-			g.waitQ = g.waitQ[1:]
+			g.queue.Pop()
 			continue
 		}
 		if !g.pool.CanFit(r.PrefillTarget()) {
@@ -294,7 +301,7 @@ func (g *Group) admit() {
 		if err != nil {
 			return
 		}
-		g.waitQ = g.waitQ[1:]
+		g.queue.Pop()
 		r.Seq = seq
 		r.SetState(request.StateRunning)
 		g.running = append(g.running, r)
@@ -446,6 +453,8 @@ func (g *Group) finishRequest(r *request.Request, now sim.Time) {
 		FirstToken:   r.FirstTokenAt,
 		Completed:    now,
 		OutputTokens: r.OutputLen,
+		Client:       r.Client,
+		Class:        r.Class,
 	})
 	g.cl.requestFinished()
 }
@@ -473,8 +482,11 @@ func (g *Group) ExtractRequests() (running, waiting []*request.Request, stalled 
 	if g.executing {
 		panic(fmt.Sprintf("cluster: extracting from executing group %d", g.ID))
 	}
-	running, waiting, stalled = g.running, g.waitQ, g.stalled
-	g.running, g.waitQ = nil, nil
+	running, stalled = g.running, g.stalled
+	for g.queue.Len() > 0 {
+		waiting = append(waiting, g.queue.Pop())
+	}
+	g.running = nil
 	g.stalled = make(map[int]*request.Request)
 	g.closed = true
 	return running, waiting, stalled

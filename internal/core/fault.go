@@ -92,7 +92,10 @@ func (p *Policy) recoverGroup(c *cluster.Cluster, g *cluster.Group, deadID int) 
 		// back through the dispatcher to the remaining cluster.
 		if len(c.Groups()) > 0 {
 			for _, r := range requeue {
-				c.Dispatch(r)
+				if err := c.Dispatch(r); err != nil {
+					// Guarded by the live-group check above.
+					panic(fmt.Sprintf("kunserve: recovery dispatch: %v", err))
+				}
 			}
 		}
 		p.reconfiguring = false

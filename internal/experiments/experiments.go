@@ -19,6 +19,7 @@ import (
 	"kunserve/internal/gpu"
 	"kunserve/internal/model"
 	"kunserve/internal/runner"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 	"kunserve/internal/workload/spec"
@@ -86,8 +87,16 @@ type Config struct {
 	// BuildTrace with a compiled declarative workload spec (multi-client
 	// mixes, alternative arrival processes, trace replay). The spec's own
 	// seed and duration govern trace generation; experiments that build
-	// bespoke traces (Figure 16's long run) ignore it.
+	// bespoke traces (Figure 16's long run) ignore it. Its slo_classes
+	// feed the scheduling layer and per-class metrics.
 	WorkloadSpec *spec.Spec
+	// Router names the dispatch router (sched.RouterNames); "" selects
+	// the default least-loaded router, which reproduces the pre-sched
+	// dispatcher exactly.
+	Router string
+	// Queue names the wait-queue discipline (sched.DisciplineNames); ""
+	// selects FCFS, which reproduces the pre-sched wait queue exactly.
+	Queue string
 	// HorizonSlack extends the simulation past the trace end so queued
 	// work drains.
 	HorizonSlack sim.Duration
@@ -246,10 +255,12 @@ func (c Config) BuildTrace() (*workload.Trace, error) {
 }
 
 // clusterConfig assembles the cluster configuration for one run on tr. The
-// policy slot is filled per cell by the runner. The receiver must already
-// have defaults applied.
+// policy slot is filled per cell by the runner; the named router and queue
+// discipline become per-cluster factories so concurrent cells never share
+// scheduler state. The receiver must already have defaults applied and
+// carry valid router/queue names (ValidateSched).
 func (c Config) clusterConfig(tr *workload.Trace) cluster.Config {
-	return cluster.Config{
+	cc := cluster.Config{
 		Seed:             c.Seed,
 		Model:            c.Model,
 		GPU:              c.GPU,
@@ -257,6 +268,39 @@ func (c Config) clusterConfig(tr *workload.Trace) cluster.Config {
 		NetBandwidth:     c.NetBandwidth,
 		KVProvisionBytes: c.kvProvisionFor(tr),
 	}
+	if c.WorkloadSpec != nil {
+		cc.SLOClasses = c.WorkloadSpec.ClassTargets()
+	}
+	if c.Router != "" {
+		name := c.Router
+		cc.NewRouter = func(seed int64) sched.Router {
+			r, err := sched.NewRouterByName(name, seed)
+			if err != nil {
+				panic(err) // unreachable after ValidateSched
+			}
+			return r
+		}
+	}
+	if c.Queue != "" {
+		name, targets := c.Queue, cc.SLOClasses
+		cc.NewDiscipline = func() sched.Discipline {
+			d, err := sched.NewDisciplineByName(name, targets)
+			if err != nil {
+				panic(err) // unreachable after ValidateSched
+			}
+			return d
+		}
+	}
+	return cc
+}
+
+// ValidateSched rejects unknown router/queue names before any cell runs.
+func (c Config) ValidateSched() error {
+	if _, err := sched.NewRouterByName(c.Router, 0); err != nil {
+		return err
+	}
+	_, err := sched.NewDisciplineByName(c.Queue, nil)
+	return err
 }
 
 // cellDef names one policy cell of a figure's run matrix.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"kunserve/internal/runner"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 	"kunserve/internal/workload/spec"
@@ -400,6 +401,161 @@ func TestRunAllSystemsParallelMatchesSequential(t *testing.T) {
 			}
 		}
 		t.Fatal("parallel figure results differ from sequential")
+	}
+}
+
+// The sched refactor's hard constraint: the explicit default router and
+// discipline reproduce the zero-value configuration exactly — every
+// percentile, series, and per-record latency — so the default path is
+// provably the pre-sched dispatcher and wait queue.
+func TestDefaultRouterAndQueueByteIdentical(t *testing.T) {
+	base, err := RunAllSystems(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Quick()
+	cfg.Router = "least-loaded"
+	cfg.Queue = "fcfs"
+	explicit, err := RunAllSystems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, explicit) {
+		t.Fatal("explicit least-loaded/fcfs differs from the zero-value default")
+	}
+	if err := cfg.ValidateSched(); err != nil {
+		t.Errorf("valid names rejected: %v", err)
+	}
+	cfg.Router = "nope"
+	if err := cfg.ValidateSched(); err == nil {
+		t.Error("unknown router accepted")
+	}
+	cfg.Router, cfg.Queue = "", "nope"
+	if err := cfg.ValidateSched(); err == nil {
+		t.Error("unknown queue accepted")
+	}
+}
+
+// Alternative routers produce valid (and generally different) runs on the
+// same trace through the same experiment path.
+func TestRouterChangesPlacement(t *testing.T) {
+	run := func(router string) *Figure12Result {
+		cfg := Quick()
+		cfg.Router = router
+		runs, err := RunAllSystems(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	def := run("")
+	rr := run("round-robin")
+	for _, runs := range []*Figure12Result{def, rr} {
+		for _, sr := range runs.Systems {
+			if sr.Finished == 0 {
+				t.Fatalf("router run finished nothing: %+v", sr.System)
+			}
+		}
+	}
+	// Round-robin ignores load, so under the burst at least one system's
+	// latency profile must move.
+	if reflect.DeepEqual(def, rr) {
+		t.Error("round-robin routing produced runs identical to least-loaded")
+	}
+}
+
+func classOf(t *testing.T, run *SLORun, name string) runner.ClassSummary {
+	t.Helper()
+	for _, cs := range run.PerClass {
+		if cs.Class == name {
+			return cs
+		}
+	}
+	t.Fatalf("run %s/%s has no class %q", run.Discipline, run.System, name)
+	return runner.ClassSummary{}
+}
+
+// The multi-tenant SLO-attainment experiment: runs under -parallel with
+// bit-identical results, reports per-class attainment and goodput, and
+// non-FCFS disciplines measurably change per-class P99 TTFT on the
+// two-class spec.
+func TestExperimentSLO(t *testing.T) {
+	cfg := Quick()
+	cfg.LoadMultiplier = 1.4 // deep enough overload that queues form
+	seqCfg := cfg
+	seqCfg.Parallel = 1
+	parCfg := cfg
+	parCfg.Parallel = 8
+	seq, err := ExperimentSLO(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExperimentSLO(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel SLO experiment differs from sequential")
+	}
+	if len(seq.Runs) != len(SLODisciplines)*len(SLOSystems) {
+		t.Fatalf("runs = %d", len(seq.Runs))
+	}
+	if !reflect.DeepEqual(seq.Classes, []string{"batch", "interactive"}) {
+		t.Fatalf("classes = %v", seq.Classes)
+	}
+	for i := range seq.Runs {
+		run := &seq.Runs[i]
+		if run.Finished == 0 {
+			t.Fatalf("%s/%s finished nothing", run.Discipline, run.System)
+		}
+		if len(run.PerClass) != 2 {
+			t.Fatalf("%s/%s per-class entries = %d", run.Discipline, run.System, len(run.PerClass))
+		}
+		for _, cs := range run.PerClass {
+			if cs.Finished == 0 || cs.TTFTTarget <= 0 {
+				t.Errorf("%s/%s class %s: finished %d target %v",
+					run.Discipline, run.System, cs.Class, cs.Finished, cs.TTFTTarget)
+			}
+			if cs.Attainment < 0 || cs.Attainment > 1 {
+				t.Errorf("class %s attainment %v out of range", cs.Class, cs.Attainment)
+			}
+			if cs.Goodput <= 0 {
+				t.Errorf("class %s goodput %v", cs.Class, cs.Goodput)
+			}
+		}
+	}
+	// The scheduling claim: under overload the priority discipline pulls
+	// the interactive class's tail in while pushing the batch class's tail
+	// out, relative to FCFS — measurably, on the primary baseline.
+	fcfs := seq.Find("fcfs", SysVLLMDP)
+	prio := seq.Find("priority", SysVLLMDP)
+	edf := seq.Find("edf", SysVLLMDP)
+	if fcfs == nil || prio == nil || edf == nil {
+		t.Fatal("missing runs")
+	}
+	fi, pi := classOf(t, fcfs, "interactive"), classOf(t, prio, "interactive")
+	fb, pb := classOf(t, fcfs, "batch"), classOf(t, prio, "batch")
+	if pi.TTFTP99 >= fi.TTFTP99*0.98 {
+		t.Errorf("priority interactive P99 %.3fs not measurably below FCFS %.3fs",
+			pi.TTFTP99, fi.TTFTP99)
+	}
+	if pb.TTFTP99 <= fb.TTFTP99*1.02 {
+		t.Errorf("priority batch P99 %.3fs not measurably above FCFS %.3fs",
+			pb.TTFTP99, fb.TTFTP99)
+	}
+	if pi.Attainment < fi.Attainment {
+		t.Errorf("priority interactive attainment %.3f < FCFS %.3f",
+			pi.Attainment, fi.Attainment)
+	}
+	ei := classOf(t, edf, "interactive")
+	eb := classOf(t, edf, "batch")
+	if ei.TTFTP99 == fi.TTFTP99 && eb.TTFTP99 == fb.TTFTP99 {
+		t.Error("EDF left both classes' P99 TTFT exactly at FCFS values")
+	}
+	var buf bytes.Buffer
+	PrintExperimentSLO(&buf, seq)
+	if buf.Len() == 0 {
+		t.Error("empty print")
 	}
 }
 

@@ -183,13 +183,17 @@ func (m *MaxSeries) Values() []float64 {
 	return out
 }
 
-// RequestRecord is one finished request's latency outcome.
+// RequestRecord is one finished request's latency outcome. Client and
+// Class carry the workload tags (empty for untagged traces); Class keys
+// the per-class breakdowns.
 type RequestRecord struct {
 	ID           int
 	Arrival      sim.Time
 	FirstToken   sim.Time
 	Completed    sim.Time
 	OutputTokens int
+	Client       string
+	Class        string
 }
 
 // TTFT returns time-to-first-token in seconds.
@@ -212,6 +216,12 @@ type Collector struct {
 	MeanTTFT *Series    // mean TTFT per window (Fig. 12 col 2)
 	Tokens   *Series    // emitted tokens per window (Fig. 12 col 3)
 	KVDemand *MaxSeries // peak KV memory demand bytes (Fig. 12 col 1)
+
+	// ClassTTFT/ClassTPOT break the latency distributions down by SLO
+	// class. Only requests with a non-empty Class are tracked, so
+	// untagged runs carry no per-class state at all.
+	ClassTTFT map[string]*Dist
+	ClassTPOT map[string]*Dist
 }
 
 // NewCollector creates a collector with the given time-series window.
@@ -231,6 +241,32 @@ func (c *Collector) Finish(r RequestRecord) {
 		c.TPOT.Add(r.TPOT())
 	}
 	c.MeanTTFT.Observe(r.FirstToken, r.TTFT())
+	if r.Class != "" {
+		if c.ClassTTFT == nil {
+			c.ClassTTFT = map[string]*Dist{}
+			c.ClassTPOT = map[string]*Dist{}
+		}
+		d := c.ClassTTFT[r.Class]
+		if d == nil {
+			d = &Dist{}
+			c.ClassTTFT[r.Class] = d
+			c.ClassTPOT[r.Class] = &Dist{}
+		}
+		d.Add(r.TTFT())
+		if r.OutputTokens > 1 {
+			c.ClassTPOT[r.Class].Add(r.TPOT())
+		}
+	}
+}
+
+// ClassNames returns the SLO classes seen among finished requests, sorted.
+func (c *Collector) ClassNames() []string {
+	out := make([]string, 0, len(c.ClassTTFT))
+	for name := range c.ClassTTFT {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // EmitTokens records generated tokens for throughput accounting.

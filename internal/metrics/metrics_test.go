@@ -262,6 +262,57 @@ func TestCollectorFlow(t *testing.T) {
 	}
 }
 
+func TestCollectorPerClassBreakdown(t *testing.T) {
+	c := NewCollector(10 * sim.Second)
+	c.Finish(RequestRecord{
+		ID: 1, Arrival: 0, FirstToken: sim.FromSeconds(0.5),
+		Completed: sim.FromSeconds(2), OutputTokens: 10,
+		Client: "a", Class: "strict",
+	})
+	c.Finish(RequestRecord{
+		ID: 2, Arrival: 0, FirstToken: sim.FromSeconds(3),
+		Completed: sim.FromSeconds(4), OutputTokens: 1,
+		Client: "b", Class: "batch",
+	})
+	// Untagged requests must not create a "" class.
+	c.Finish(RequestRecord{
+		ID: 3, Arrival: 0, FirstToken: sim.FromSeconds(1),
+		Completed: sim.FromSeconds(2), OutputTokens: 5,
+	})
+	names := c.ClassNames()
+	if len(names) != 2 || names[0] != "batch" || names[1] != "strict" {
+		t.Fatalf("ClassNames = %v", names)
+	}
+	if c.ClassTTFT["strict"].Count() != 1 || c.ClassTTFT["batch"].Count() != 1 {
+		t.Error("per-class TTFT counts")
+	}
+	if got := c.ClassTTFT["strict"].Percentile(50); got != 0.5 {
+		t.Errorf("strict TTFT = %v", got)
+	}
+	// Single-token outputs are skipped in the per-class TPOT too.
+	if c.ClassTPOT["batch"].Count() != 0 {
+		t.Error("batch TPOT should skip single-token output")
+	}
+	if c.ClassTPOT["strict"].Count() != 1 {
+		t.Error("strict TPOT missing")
+	}
+	// The overall distributions still include every request.
+	if c.TTFT.Count() != 3 {
+		t.Error("overall TTFT count")
+	}
+}
+
+func TestCollectorNoClassesWhenUntagged(t *testing.T) {
+	c := NewCollector(10 * sim.Second)
+	c.Finish(RequestRecord{
+		ID: 1, Arrival: 0, FirstToken: sim.FromSeconds(1),
+		Completed: sim.FromSeconds(2), OutputTokens: 2,
+	})
+	if len(c.ClassNames()) != 0 || c.ClassTTFT != nil {
+		t.Error("untagged run grew per-class state")
+	}
+}
+
 func TestCollectorEmptyThroughput(t *testing.T) {
 	c := NewCollector(sim.Second)
 	if c.ThroughputTokensPerSec() != 0 {

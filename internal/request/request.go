@@ -66,6 +66,12 @@ type Request struct {
 	InputLen  int
 	OutputLen int
 
+	// Client names the originating workload client and Class its SLO
+	// class (spec-tagged traces; empty otherwise). Routers and queue
+	// disciplines key on them; metrics break down by Class.
+	Client string
+	Class  string
+
 	state State
 
 	// PrefilledTokens counts prompt tokens whose KV has been computed in

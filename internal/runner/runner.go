@@ -79,6 +79,12 @@ func Run(c Cell) (res Result) {
 	res.Cluster = cl
 	res.Summary = Summarize(cl)
 	res.Summary.Key = c.Key
+	// Dispatch failures (no live group) degrade the cell to an error —
+	// aggregated by Execute — instead of crashing the whole run set. The
+	// summary above still reflects whatever the run did complete.
+	if err := cl.Err(); err != nil {
+		res.Err = fmt.Errorf("runner: cell %q: %w", c.Key, err)
+	}
 	return res
 }
 

@@ -8,7 +8,9 @@ import (
 	"kunserve/internal/baselines"
 	"kunserve/internal/cluster"
 	"kunserve/internal/gpu"
+	"kunserve/internal/metrics"
 	"kunserve/internal/model"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 )
@@ -117,6 +119,61 @@ func TestExecuteErrorAggregation(t *testing.T) {
 	}
 }
 
+// vanishPolicy dissolves every group at its first idle monitor tick, so
+// requests arriving afterwards have no live group to dispatch to.
+type vanishPolicy struct {
+	cluster.BasePolicy
+	done bool
+}
+
+func (*vanishPolicy) Name() string                            { return "vanish" }
+func (*vanishPolicy) Setup(c *cluster.Cluster) error          { return cluster.SetupDP(c) }
+func (*vanishPolicy) HandlePressure(*cluster.Group, int) bool { return false }
+
+func (p *vanishPolicy) OnTick(c *cluster.Cluster) {
+	if p.done {
+		return
+	}
+	for _, g := range c.Groups() {
+		if !g.Executing() {
+			g.ExtractRequests()
+			c.RemoveGroup(g)
+		}
+	}
+	p.done = len(c.Groups()) == 0
+}
+
+// A run whose dispatcher finds no live group degrades to a per-cell error
+// (aggregated by Execute) instead of panicking the whole set.
+func TestDispatchFailureSurfacesAsCellError(t *testing.T) {
+	// Arrivals start after the first monitor tick (1s) has dissolved the
+	// groups.
+	tr := &workload.Trace{Name: "late"}
+	for i := 0; i < 3; i++ {
+		tr.Requests = append(tr.Requests, workload.Request{
+			ID: i, Arrival: sim.FromSeconds(2 + float64(i)), InputLen: 128, OutputLen: 8,
+		})
+	}
+	set := NewSet(2)
+	good := testCell("good", 1, testTrace())
+	set.Add(good)
+	bad := testCell("no-groups", 2, tr)
+	bad.NewPolicy = func() cluster.Policy { return &vanishPolicy{} }
+	bad.Trace = tr
+	bad.Horizon = sim.FromSeconds(10)
+	set.Add(bad)
+	results, err := set.Execute()
+	if err == nil || !strings.Contains(err.Error(), `"no-groups"`) {
+		t.Fatalf("joined error %v does not name the sick cell", err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("healthy cell errored: %v", results[0].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "undispatchable") {
+		t.Errorf("cell error = %v, want undispatchable requests", results[1].Err)
+	}
+}
+
 // Panics inside the simulated world surface as cell errors, not process
 // crashes, so one bad cell cannot take down a whole sweep.
 func TestRunRecoversPanic(t *testing.T) {
@@ -128,6 +185,40 @@ func TestRunRecoversPanic(t *testing.T) {
 	}
 	if res.Cluster != nil {
 		t.Error("cluster should be nil after panic")
+	}
+}
+
+// A declared SLO class that finished nothing must still appear in the
+// per-class breakdown with zero attainment and goodput — total starvation
+// is the headline failure a discipline comparison exists to expose.
+func TestClassBreakdownIncludesStarvedClasses(t *testing.T) {
+	col := metrics.NewCollector(sim.Second)
+	col.Finish(metrics.RequestRecord{
+		ID: 1, Arrival: 0, FirstToken: sim.FromSeconds(0.5),
+		Completed: sim.FromSeconds(1), OutputTokens: 2, Class: "interactive",
+	})
+	col.EmitTokens(sim.FromSeconds(1), 2)
+	targets := sched.ClassTargets{
+		"interactive": {TTFT: 1},
+		"batch":       {TTFT: 8},
+	}
+	rows := classBreakdown(col, targets, 10)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want starved class included", len(rows))
+	}
+	if rows[0].Class != "batch" || rows[1].Class != "interactive" {
+		t.Fatalf("order = %v, %v", rows[0].Class, rows[1].Class)
+	}
+	starved := rows[0]
+	if starved.Finished != 0 || starved.Attainment != 0 || starved.Goodput != 0 {
+		t.Errorf("starved class = %+v, want zeros", starved)
+	}
+	if starved.TTFTTarget != 8 {
+		t.Errorf("starved class target %v", starved.TTFTTarget)
+	}
+	served := rows[1]
+	if served.Finished != 1 || served.Attainment != 1 || served.Goodput != 0.1 {
+		t.Errorf("served class = %+v", served)
 	}
 }
 

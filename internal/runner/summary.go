@@ -1,8 +1,12 @@
 package runner
 
 import (
+	"sort"
+
 	"kunserve/internal/cluster"
 	"kunserve/internal/core"
+	"kunserve/internal/metrics"
+	"kunserve/internal/sched"
 )
 
 // Summary is the unified scrape of one run's metrics.Collector plus the
@@ -40,6 +44,11 @@ type Summary struct {
 	// (zero when nothing pipelined).
 	BubbleRatio float64
 
+	// PerClass breaks latency, SLO attainment, and goodput down by SLO
+	// class, sorted by class name. Only populated for class-tagged
+	// workloads, so untagged runs marshal identically to before.
+	PerClass []ClassSummary `json:",omitempty"`
+
 	// Reconfiguration log (KunServe policies only; zero otherwise).
 	Drops    int
 	Restores int
@@ -51,6 +60,92 @@ type Summary struct {
 	TTFTs   []float64 `json:"-"`
 	TPOTs   []float64 `json:"-"`
 	Outputs []int     `json:"-"`
+}
+
+// ClassSummary is one SLO class's slice of a run: latency percentiles,
+// attainment against the class's declared targets, and goodput.
+type ClassSummary struct {
+	Class    string
+	Finished int
+
+	TTFTP50, TTFTP90, TTFTP99 float64
+	TPOTP50, TPOTP99          float64
+
+	// TTFTTarget and TBTTarget echo the class's declared SLO targets in
+	// seconds (0 = none declared).
+	TTFTTarget float64
+	TBTTarget  float64
+
+	// Attainment is the fraction of the class's finished requests meeting
+	// every declared target (1 when the class declares none).
+	Attainment float64
+
+	// Goodput is SLO-attaining finished requests per second over the run
+	// span — the per-class throughput that actually counts.
+	Goodput float64
+}
+
+// classBreakdown computes the per-class summaries from the collector's
+// records against the cluster's class targets. Declared classes that
+// finished nothing (total starvation — exactly what a discipline
+// comparison must expose) still get a row, with zero attainment and
+// goodput, rather than silently vanishing.
+func classBreakdown(col *metrics.Collector, targets sched.ClassTargets, spanSeconds float64) []ClassSummary {
+	names := col.ClassNames()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, n := range targets.Names() {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	// One pass over the records buckets SLO-attaining counts per class.
+	attained := make(map[string]int, len(names))
+	for _, rec := range col.Records {
+		if rec.Class == "" {
+			continue
+		}
+		tgt := targets[rec.Class]
+		if tgt.TTFT > 0 && rec.TTFT() > tgt.TTFT {
+			continue
+		}
+		if tgt.TBT > 0 && rec.OutputTokens > 1 && rec.TPOT() > tgt.TBT {
+			continue
+		}
+		attained[rec.Class]++
+	}
+	out := make([]ClassSummary, 0, len(names))
+	for _, name := range names {
+		var ttft, tpot metrics.Dist
+		if d := col.ClassTTFT[name]; d != nil {
+			ttft = *d
+		}
+		if d := col.ClassTPOT[name]; d != nil {
+			tpot = *d
+		}
+		cs := ClassSummary{
+			Class:      name,
+			Finished:   ttft.Count(),
+			TTFTP50:    ttft.Percentile(50),
+			TTFTP90:    ttft.Percentile(90),
+			TTFTP99:    ttft.Percentile(99),
+			TPOTP50:    tpot.Percentile(50),
+			TPOTP99:    tpot.Percentile(99),
+			TTFTTarget: targets[name].TTFT,
+			TBTTarget:  targets[name].TBT,
+		}
+		if cs.Finished > 0 {
+			cs.Attainment = float64(attained[name]) / float64(cs.Finished)
+		}
+		if spanSeconds > 0 {
+			cs.Goodput = float64(attained[name]) / spanSeconds
+		}
+		out = append(out, cs)
+	}
+	return out
 }
 
 // Summarize scrapes a served cluster into a Summary.
@@ -80,6 +175,10 @@ func Summarize(cl *cluster.Cluster) Summary {
 	for _, v := range col.KVDemand.Values() {
 		s.DemandGBSeries = append(s.DemandGBSeries, v/1e9)
 	}
+	// Span matches ThroughputTokensPerSec's denominator so goodput and
+	// token throughput are comparable rates.
+	span := float64(col.Tokens.Bins()) * col.Tokens.Window().Seconds()
+	s.PerClass = classBreakdown(col, cl.SLOClasses, span)
 	if ks, ok := cl.Policy.(*core.Policy); ok {
 		s.Drops = ks.Drops()
 		s.Restores = ks.Restores()

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"sort"
+
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+)
+
+// FCFS is the default first-come-first-served discipline: Push appends,
+// PushFront literally prepends (the preemption re-queue path), admission
+// pops the head. It reproduces the original raw wait-queue slice exactly.
+type FCFS struct {
+	q []*request.Request
+}
+
+// NewFCFS returns an empty FCFS queue.
+func NewFCFS() Discipline { return &FCFS{} }
+
+// Name implements Discipline.
+func (*FCFS) Name() string { return "fcfs" }
+
+// Push implements Discipline.
+func (f *FCFS) Push(r *request.Request) { f.q = append(f.q, r) }
+
+// PushFront implements Discipline.
+func (f *FCFS) PushFront(r *request.Request) {
+	f.q = append([]*request.Request{r}, f.q...)
+}
+
+// Peek implements Discipline.
+func (f *FCFS) Peek() *request.Request {
+	if len(f.q) == 0 {
+		return nil
+	}
+	return f.q[0]
+}
+
+// Pop implements Discipline.
+func (f *FCFS) Pop() *request.Request {
+	if len(f.q) == 0 {
+		return nil
+	}
+	r := f.q[0]
+	f.q = f.q[1:]
+	return r
+}
+
+// Len implements Discipline.
+func (f *FCFS) Len() int { return len(f.q) }
+
+// Items implements Discipline.
+func (f *FCFS) Items() []*request.Request {
+	out := make([]*request.Request, len(f.q))
+	copy(out, f.q)
+	return out
+}
+
+// Each implements Discipline.
+func (f *FCFS) Each(fn func(*request.Request)) {
+	for _, r := range f.q {
+		fn(r)
+	}
+}
+
+// ordered is a Discipline kept sorted under a strict total order. less
+// must tie-break down to request ID, so insertion position — and thus the
+// whole schedule — is deterministic. PushFront folds into the same order:
+// a preempted request's old arrival already sorts it ahead of newer peers
+// of equal rank.
+type ordered struct {
+	name string
+	q    []*request.Request
+	less func(a, b *request.Request) bool
+}
+
+// Name implements Discipline.
+func (o *ordered) Name() string { return o.name }
+
+// Push implements Discipline.
+func (o *ordered) Push(r *request.Request) { o.insert(r) }
+
+// PushFront implements Discipline.
+func (o *ordered) PushFront(r *request.Request) { o.insert(r) }
+
+func (o *ordered) insert(r *request.Request) {
+	i := sort.Search(len(o.q), func(i int) bool { return o.less(r, o.q[i]) })
+	o.q = append(o.q, nil)
+	copy(o.q[i+1:], o.q[i:])
+	o.q[i] = r
+}
+
+// Peek implements Discipline.
+func (o *ordered) Peek() *request.Request {
+	if len(o.q) == 0 {
+		return nil
+	}
+	return o.q[0]
+}
+
+// Pop implements Discipline.
+func (o *ordered) Pop() *request.Request {
+	if len(o.q) == 0 {
+		return nil
+	}
+	r := o.q[0]
+	o.q = o.q[1:]
+	return r
+}
+
+// Len implements Discipline.
+func (o *ordered) Len() int { return len(o.q) }
+
+// Items implements Discipline.
+func (o *ordered) Items() []*request.Request {
+	out := make([]*request.Request, len(o.q))
+	copy(out, o.q)
+	return out
+}
+
+// Each implements Discipline.
+func (o *ordered) Each(fn func(*request.Request)) {
+	for _, r := range o.q {
+		fn(r)
+	}
+}
+
+// NewPriority returns a discipline serving SLO classes by their declared
+// priority (larger first), breaking ties by arrival then ID — so within a
+// class it degenerates to FCFS. Requests of undeclared classes run at
+// priority 0.
+func NewPriority(targets ClassTargets) Discipline {
+	return &ordered{
+		name: "priority",
+		less: func(a, b *request.Request) bool {
+			pa, pb := targets[a.Class].Priority, targets[b.Class].Priority
+			if pa != pb {
+				return pa > pb
+			}
+			if a.Arrival != b.Arrival {
+				return a.Arrival < b.Arrival
+			}
+			return a.ID < b.ID
+		},
+	}
+}
+
+// defaultDeadline spaces requests of classes with no TTFT target far
+// behind every targeted class while preserving arrival order among
+// themselves.
+const defaultDeadline = 3600 * sim.Second
+
+// NewEDF returns an earliest-deadline-first discipline over per-class
+// TTFT targets: a request's deadline is its arrival plus its class's TTFT
+// target (classes without a target get a far-future deadline, preserving
+// FCFS order among themselves). Ties break by arrival then ID.
+func NewEDF(targets ClassTargets) Discipline {
+	deadline := func(r *request.Request) sim.Time {
+		if t := targets[r.Class].TTFT; t > 0 {
+			return r.Arrival.Add(sim.DurationFromSeconds(t))
+		}
+		return r.Arrival.Add(defaultDeadline)
+	}
+	return &ordered{
+		name: "edf",
+		less: func(a, b *request.Request) bool {
+			da, db := deadline(a), deadline(b)
+			if da != db {
+				return da < db
+			}
+			if a.Arrival != b.Arrival {
+				return a.Arrival < b.Arrival
+			}
+			return a.ID < b.ID
+		},
+	}
+}

@@ -1,0 +1,134 @@
+// Package sched is the pluggable scheduling layer: routers decide which
+// serving group a dispatched request joins, disciplines order each group's
+// wait queue, and SLO class targets parameterize both the deadline-driven
+// disciplines and the per-class attainment metrics. The cluster wires a
+// Router into its dispatcher and a Discipline into every group, the same
+// way cluster.Policy plugs in overload handling — so multi-tenant and
+// SLO-differentiated scenarios swap scheduling policies atop one shared
+// engine. Every implementation is seed-deterministic: the same seed and
+// request stream always produce the same placement and order.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kunserve/internal/request"
+)
+
+// Candidate is one live serving group as the router sees it: its identity
+// and its current KV memory demand/capacity in tokens. Candidates are
+// presented in stable group-registration order.
+type Candidate struct {
+	ID             int
+	DemandTokens   int
+	CapacityTokens int
+}
+
+// Load returns the demand/capacity ratio.
+func (c Candidate) Load() float64 {
+	return float64(c.DemandTokens) / float64(c.CapacityTokens)
+}
+
+// Router picks the serving group a dispatched request joins.
+type Router interface {
+	// Name identifies the router in flags and output.
+	Name() string
+	// Route returns the index into cands of the chosen group. cands is
+	// never empty; the result must be in range.
+	Route(r *request.Request, cands []Candidate) int
+}
+
+// Discipline orders one group's wait queue. The group admits from the head
+// (Peek/Pop) while requests fit; head-of-line semantics are therefore the
+// discipline's to define. Implementations need not be safe for concurrent
+// use: a group is single-threaded inside its simulation.
+type Discipline interface {
+	// Name identifies the discipline in flags and output.
+	Name() string
+	// Push adds a newly arrived request.
+	Push(r *request.Request)
+	// PushFront re-queues a preempted request ahead of new arrivals. FCFS
+	// honors literal front placement; ordered disciplines fold the request
+	// into their normal order (its old arrival already sorts it early).
+	PushFront(r *request.Request)
+	// Peek returns the next request without removing it, nil when empty.
+	Peek() *request.Request
+	// Pop removes and returns the next request, nil when empty.
+	Pop() *request.Request
+	// Len returns the queued-request count.
+	Len() int
+	// Items returns the queued requests in dispatch order (a copy).
+	Items() []*request.Request
+	// Each visits every queued request in dispatch order without copying.
+	Each(fn func(*request.Request))
+}
+
+// ClassTarget declares one SLO class's objectives. Zero fields mean "no
+// target declared" for that dimension.
+type ClassTarget struct {
+	// TTFT is the time-to-first-token target in seconds.
+	TTFT float64
+	// TBT is the time-between-tokens (TPOT) target in seconds per token.
+	TBT float64
+	// Priority orders classes under the priority discipline; larger is
+	// served first. Untargeted classes default to 0.
+	Priority int
+}
+
+// ClassTargets maps SLO class names to their targets.
+type ClassTargets map[string]ClassTarget
+
+// Names returns the class names in sorted order.
+func (t ClassTargets) Names() []string {
+	out := make([]string, 0, len(t))
+	for name := range t {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RouterNames lists the built-in routers in NewRouterByName's canonical
+// spelling.
+var RouterNames = []string{"least-loaded", "round-robin", "p2c", "least-kv", "affinity"}
+
+// DisciplineNames lists the built-in queue disciplines.
+var DisciplineNames = []string{"fcfs", "priority", "edf"}
+
+// NewRouterByName builds a named router. seed drives any internal
+// randomness (power-of-two-choices sampling), so equal seeds reproduce
+// equal placements.
+func NewRouterByName(name string, seed int64) (Router, error) {
+	switch name {
+	case "", "least-loaded":
+		return NewLeastLoaded(), nil
+	case "round-robin", "rr":
+		return NewRoundRobin(), nil
+	case "p2c", "power-of-two", "power-of-two-choices":
+		return NewPowerOfTwo(seed), nil
+	case "least-kv", "least-kv-demand":
+		return NewLeastKVDemand(), nil
+	case "affinity", "client-affinity":
+		return NewClientAffinity(), nil
+	}
+	return nil, fmt.Errorf("sched: unknown router %q (valid: %s)",
+		name, strings.Join(RouterNames, ", "))
+}
+
+// NewDisciplineByName builds a named queue discipline against the given
+// class targets (deadline- and priority-driven disciplines read them; FCFS
+// ignores them).
+func NewDisciplineByName(name string, targets ClassTargets) (Discipline, error) {
+	switch name {
+	case "", "fcfs":
+		return NewFCFS(), nil
+	case "priority", "slo-priority":
+		return NewPriority(targets), nil
+	case "edf", "earliest-deadline-first":
+		return NewEDF(targets), nil
+	}
+	return nil, fmt.Errorf("sched: unknown discipline %q (valid: %s)",
+		name, strings.Join(DisciplineNames, ", "))
+}

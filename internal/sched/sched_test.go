@@ -1,0 +1,248 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"kunserve/internal/request"
+	"kunserve/internal/sim"
+)
+
+func req(id int, arrival sim.Time, class string) *request.Request {
+	r := request.New(id, arrival, 128, 16)
+	r.Class = class
+	return r
+}
+
+func cands(loads ...[2]int) []Candidate {
+	out := make([]Candidate, len(loads))
+	for i, l := range loads {
+		out[i] = Candidate{ID: i, DemandTokens: l[0], CapacityTokens: l[1]}
+	}
+	return out
+}
+
+func TestLeastLoadedPicksStrictMinKeepingFirstTie(t *testing.T) {
+	r := NewLeastLoaded()
+	// loads: 0.5, 0.25, 0.25 — tie between 1 and 2 keeps 1.
+	got := r.Route(nil, cands([2]int{50, 100}, [2]int{25, 100}, [2]int{25, 100}))
+	if got != 1 {
+		t.Errorf("Route = %d, want 1", got)
+	}
+	if r.Route(nil, cands([2]int{10, 100})) != 0 {
+		t.Error("single candidate must route to 0")
+	}
+}
+
+func TestRoundRobinCyclesAndSurvivesChurn(t *testing.T) {
+	r := NewRoundRobin()
+	cs := cands([2]int{0, 1}, [2]int{0, 1}, [2]int{0, 1})
+	var got []int
+	for i := 0; i < 5; i++ {
+		got = append(got, r.Route(nil, cs))
+	}
+	if want := []int{0, 1, 2, 0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("cycle = %v, want %v", got, want)
+	}
+	// Shrinking the candidate set must not index out of range.
+	if i := r.Route(nil, cands([2]int{0, 1})); i != 0 {
+		t.Errorf("after churn Route = %d", i)
+	}
+}
+
+func TestPowerOfTwoDeterministicPerSeedAndInRange(t *testing.T) {
+	cs := cands([2]int{90, 100}, [2]int{10, 100}, [2]int{50, 100}, [2]int{70, 100})
+	a, b := NewPowerOfTwo(7), NewPowerOfTwo(7)
+	for i := 0; i < 64; i++ {
+		ia, ib := a.Route(nil, cs), b.Route(nil, cs)
+		if ia != ib {
+			t.Fatalf("same seed diverged at step %d: %d vs %d", i, ia, ib)
+		}
+		if ia < 0 || ia >= len(cs) {
+			t.Fatalf("out of range: %d", ia)
+		}
+	}
+	// Of two sampled groups it must take the less loaded: group 0 (90%)
+	// should be chosen far less often than group 1 (10%).
+	counts := make([]int, 4)
+	p := NewPowerOfTwo(3)
+	for i := 0; i < 400; i++ {
+		counts[p.Route(nil, cs)]++
+	}
+	if counts[1] <= counts[0] {
+		t.Errorf("p2c did not prefer the lightly loaded group: %v", counts)
+	}
+	if counts[0]+counts[1]+counts[2]+counts[3] != 400 {
+		t.Errorf("counts lost routes: %v", counts)
+	}
+}
+
+func TestLeastKVDemandIgnoresCapacity(t *testing.T) {
+	// Group 0 has less absolute demand but is proportionally fuller.
+	cs := cands([2]int{40, 50}, [2]int{60, 1000})
+	if got := NewLeastKVDemand().Route(nil, cs); got != 0 {
+		t.Errorf("Route = %d, want 0 (least absolute demand)", got)
+	}
+	if got := NewLeastLoaded().Route(nil, cs); got != 1 {
+		t.Errorf("least-loaded sanity: Route = %d, want 1", got)
+	}
+}
+
+func TestClientAffinityStableAndFallsBack(t *testing.T) {
+	r := NewClientAffinity()
+	cs := cands([2]int{90, 100}, [2]int{10, 100}, [2]int{50, 100})
+	ra := req(1, 0, "")
+	ra.Client = "tenant-a"
+	first := r.Route(ra, cs)
+	for i := 0; i < 8; i++ {
+		if got := r.Route(ra, cs); got != first {
+			t.Fatalf("affinity moved: %d != %d", got, first)
+		}
+	}
+	rb := req(2, 0, "")
+	rb.Client = "tenant-b"
+	_ = r.Route(rb, cs) // must be in range; may or may not collide
+	// Untagged requests fall back to least-loaded.
+	if got := r.Route(req(3, 0, ""), cs); got != 1 {
+		t.Errorf("untagged Route = %d, want least-loaded 1", got)
+	}
+}
+
+// Rendezvous hashing keeps affinity stable under group churn: removing a
+// group a client does not live on must not move that client.
+func TestClientAffinityStableUnderChurn(t *testing.T) {
+	r := NewClientAffinity()
+	full := make([]Candidate, 8)
+	for i := range full {
+		full[i] = Candidate{ID: i, DemandTokens: 10, CapacityTokens: 100}
+	}
+	clients := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	home := map[string]int{} // client -> group ID
+	for i, name := range clients {
+		rq := req(i, 0, "")
+		rq.Client = name
+		home[name] = full[r.Route(rq, full)].ID
+	}
+	// Dissolve group 3: every client homed elsewhere must stay put.
+	churned := make([]Candidate, 0, 7)
+	for _, c := range full {
+		if c.ID != 3 {
+			churned = append(churned, c)
+		}
+	}
+	for i, name := range clients {
+		if home[name] == 3 {
+			continue
+		}
+		rq := req(100+i, 0, "")
+		rq.Client = name
+		if got := churned[r.Route(rq, churned)].ID; got != home[name] {
+			t.Errorf("client %s moved %d -> %d when an unrelated group dissolved",
+				name, home[name], got)
+		}
+	}
+}
+
+func TestFCFSOrderAndPushFront(t *testing.T) {
+	q := NewFCFS()
+	a, b, c := req(1, 0, ""), req(2, 1, ""), req(3, 2, "")
+	q.Push(a)
+	q.Push(b)
+	q.PushFront(c) // preemption path: literal front
+	if q.Len() != 3 || q.Peek() != c {
+		t.Fatalf("peek = %v", q.Peek())
+	}
+	got := []*request.Request{q.Pop(), q.Pop(), q.Pop()}
+	if want := []*request.Request{c, a, b}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order wrong")
+	}
+	if q.Pop() != nil || q.Peek() != nil {
+		t.Error("empty queue must return nil")
+	}
+}
+
+func TestPriorityOrdersByClassThenArrival(t *testing.T) {
+	targets := ClassTargets{
+		"strict": {TTFT: 1, Priority: 10},
+		"batch":  {TTFT: 10, Priority: 0},
+	}
+	q := NewPriority(targets)
+	b1 := req(1, 0, "batch")
+	s1 := req(2, sim.FromSeconds(5), "strict")
+	b2 := req(3, sim.FromSeconds(1), "batch")
+	s2 := req(4, sim.FromSeconds(6), "strict")
+	u := req(5, 0, "unknown") // undeclared class runs at priority 0
+	for _, r := range []*request.Request{b1, s1, b2, s2, u} {
+		q.Push(r)
+	}
+	var ids []int
+	q.Each(func(r *request.Request) { ids = append(ids, r.ID) })
+	// strict first (by arrival), then priority-0 by arrival then ID.
+	if want := []int{2, 4, 1, 5, 3}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("order = %v, want %v", ids, want)
+	}
+	if got := q.Items(); len(got) != 5 || got[0].ID != 2 {
+		t.Errorf("Items = %v", got)
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	targets := ClassTargets{
+		"strict": {TTFT: 1},
+		"batch":  {TTFT: 100},
+	}
+	q := NewEDF(targets)
+	b := req(1, 0, "batch")                     // deadline 100s
+	s := req(2, sim.FromSeconds(50), "strict")  // deadline 51s
+	s2 := req(3, sim.FromSeconds(98), "strict") // deadline 99s
+	u := req(4, 0, "")                          // no target: far-future deadline
+	for _, r := range []*request.Request{b, s, s2, u} {
+		q.Push(r)
+	}
+	var ids []int
+	for q.Len() > 0 {
+		ids = append(ids, q.Pop().ID)
+	}
+	if want := []int{2, 3, 1, 4}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("order = %v, want %v", ids, want)
+	}
+}
+
+func TestRegistries(t *testing.T) {
+	for _, name := range RouterNames {
+		r, err := NewRouterByName(name, 1)
+		if err != nil || r == nil {
+			t.Errorf("router %q: %v", name, err)
+		} else if r.Name() != name {
+			t.Errorf("router %q reports name %q", name, r.Name())
+		}
+	}
+	for _, name := range DisciplineNames {
+		d, err := NewDisciplineByName(name, nil)
+		if err != nil || d == nil {
+			t.Errorf("discipline %q: %v", name, err)
+		} else if d.Name() != name {
+			t.Errorf("discipline %q reports name %q", name, d.Name())
+		}
+	}
+	// Empty names select the defaults.
+	if r, err := NewRouterByName("", 1); err != nil || r.Name() != "least-loaded" {
+		t.Errorf("default router: %v %v", r, err)
+	}
+	if d, err := NewDisciplineByName("", nil); err != nil || d.Name() != "fcfs" {
+		t.Errorf("default discipline: %v %v", d, err)
+	}
+	if _, err := NewRouterByName("nope", 1); err == nil {
+		t.Error("unknown router accepted")
+	}
+	if _, err := NewDisciplineByName("nope", nil); err == nil {
+		t.Error("unknown discipline accepted")
+	}
+}
+
+func TestClassTargetsNames(t *testing.T) {
+	tg := ClassTargets{"b": {}, "a": {}, "c": {}}
+	if got := tg.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Names = %v", got)
+	}
+}

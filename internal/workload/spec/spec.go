@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 	"kunserve/internal/workload/arrival"
@@ -49,6 +50,10 @@ type Spec struct {
 	TotalRPS float64 `json:"total_rps"`
 	// Clients are the traffic sources to merge.
 	Clients []Client `json:"clients"`
+	// SLOClasses declares per-class SLO targets keyed by the class names
+	// clients reference via slo_class. Deadline- and priority-driven
+	// queue disciplines and the per-class attainment metrics read them.
+	SLOClasses map[string]SLOClass `json:"slo_classes,omitempty"`
 
 	// baseDir resolves relative trace_file paths; set by Load.
 	baseDir string
@@ -110,6 +115,35 @@ type MMPPState struct {
 	MeanSojournS float64 `json:"mean_sojourn_s"`
 }
 
+// SLOClass declares one service class's targets. Zero fields mean no
+// target on that dimension.
+type SLOClass struct {
+	// TTFTS is the time-to-first-token target in seconds.
+	TTFTS float64 `json:"ttft_s,omitempty"`
+	// TBTMS is the time-between-tokens (TPOT) target in milliseconds.
+	TBTMS float64 `json:"tbt_ms,omitempty"`
+	// Priority orders classes under the priority queue discipline;
+	// larger is served first (default 0).
+	Priority int `json:"priority,omitempty"`
+}
+
+// ClassTargets converts the spec's SLO classes into the scheduling
+// layer's representation (TBT milliseconds become seconds).
+func (s *Spec) ClassTargets() sched.ClassTargets {
+	if len(s.SLOClasses) == 0 {
+		return nil
+	}
+	out := make(sched.ClassTargets, len(s.SLOClasses))
+	for name, c := range s.SLOClasses {
+		out[name] = sched.ClassTarget{
+			TTFT:     c.TTFTS,
+			TBT:      c.TBTMS / 1000,
+			Priority: c.Priority,
+		}
+	}
+	return out
+}
+
 // Length mirrors workload.LengthDist for JSON.
 type Length struct {
 	Mean  float64 `json:"mean"`
@@ -161,6 +195,27 @@ func (s *Spec) Validate() error {
 	}
 	if len(s.Clients) == 0 {
 		return fmt.Errorf("spec: no clients")
+	}
+	for name, c := range s.SLOClasses {
+		if c.TTFTS < 0 || c.TBTMS < 0 {
+			return fmt.Errorf("spec: slo class %q: negative target", name)
+		}
+	}
+	// With a declared slo_classes block, a client referencing an
+	// undeclared class is almost certainly a typo — it would silently run
+	// at priority 0 with no targets and report perfect attainment.
+	// Class-tagged specs without the block stay valid (tags predate
+	// targets).
+	if len(s.SLOClasses) > 0 {
+		for _, c := range s.Clients {
+			if c.SLOClass == "" {
+				continue
+			}
+			if _, ok := s.SLOClasses[c.SLOClass]; !ok {
+				return fmt.Errorf("spec: client %q references undeclared slo class %q",
+					c.Name, c.SLOClass)
+			}
+		}
 	}
 	generated := false
 	for i, c := range s.Clients {

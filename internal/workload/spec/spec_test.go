@@ -222,11 +222,53 @@ func TestValidateErrors(t *testing.T) {
 		"unknown field":    `{"duration_s": 10, "total_rps": 1, "clientz": []}`,
 		"negative cv":      `{"duration_s": 10, "total_rps": 1, "clients": [{"name": "a", "rate_fraction": 1, "dataset": "burstgpt", "arrival": {"process": "gamma", "cv": -1}}]}`,
 		"negative upscale": `{"duration_s": 10, "total_rps": 1, "clients": [{"name": "a", "trace_file": "x.csv", "upscale": -1}]}`,
+		"negative slo":     `{"duration_s": 10, "total_rps": 1, "clients": [{"name": "a", "rate_fraction": 1, "dataset": "burstgpt"}], "slo_classes": {"x": {"ttft_s": -1}}}`,
+		"slo class typo":   `{"duration_s": 10, "total_rps": 1, "clients": [{"name": "a", "rate_fraction": 1, "slo_class": "interactiv", "dataset": "burstgpt"}], "slo_classes": {"interactive": {"ttft_s": 1}}}`,
 	}
 	for label, js := range cases {
 		if _, err := Parse(strings.NewReader(js)); err == nil {
 			t.Errorf("%s: accepted", label)
 		}
+	}
+}
+
+// slo_classes parse into scheduling-layer targets with TBT milliseconds
+// converted to seconds.
+func TestSLOClassTargets(t *testing.T) {
+	js := `{
+	  "duration_s": 10, "total_rps": 1,
+	  "clients": [{"name": "a", "rate_fraction": 1, "slo_class": "strict", "dataset": "burstgpt"}],
+	  "slo_classes": {
+	    "strict": {"ttft_s": 0.5, "tbt_ms": 50, "priority": 10},
+	    "batch": {"ttft_s": 10}
+	  }
+	}`
+	s, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := s.ClassTargets()
+	if len(targets) != 2 {
+		t.Fatalf("targets = %v", targets)
+	}
+	strict := targets["strict"]
+	if strict.TTFT != 0.5 || strict.TBT != 0.05 || strict.Priority != 10 {
+		t.Errorf("strict = %+v", strict)
+	}
+	batch := targets["batch"]
+	if batch.TTFT != 10 || batch.TBT != 0 || batch.Priority != 0 {
+		t.Errorf("batch = %+v", batch)
+	}
+	if got := targets.Names(); len(got) != 2 || got[0] != "batch" || got[1] != "strict" {
+		t.Errorf("Names = %v", got)
+	}
+	// A spec without slo_classes converts to nil targets.
+	s2, err := Parse(strings.NewReader(twoClient))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ClassTargets() != nil {
+		t.Error("spec without slo_classes must yield nil targets")
 	}
 }
 
