@@ -18,6 +18,7 @@ import (
 	"kunserve/internal/costmodel"
 	"kunserve/internal/experiments"
 	"kunserve/internal/gpu"
+	"kunserve/internal/kvcache"
 	"kunserve/internal/memory"
 	"kunserve/internal/model"
 	"kunserve/internal/network"
@@ -215,6 +216,87 @@ func BenchmarkSweepHarness(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(res.Cells)), "cells")
 	b.ReportMetric(res.Bands()[0].MeanP99, "band0-meanp99-s")
+}
+
+// --- KVCache allocator benches ------------------------------------------
+//
+// BENCH_kvcache.json records the first committed baseline of these numbers
+// (plus the Figure 2 wall time above) so later PRs have a trajectory.
+
+// BenchmarkKVCacheAllocatorChurn measures the block-table allocator on the
+// identity-free path every default run takes: admit, chunked-prefill
+// appends, decode appends, free. ops = one full request lifecycle.
+func BenchmarkKVCacheAllocatorChurn(b *testing.B) {
+	p := kvcache.NewPool(4096, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := p.NewSeq(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < 4; c++ { // 4 prefill chunks of 512
+			if err := s.Append(512); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for d := 0; d < 64; d++ { // 64 decode tokens
+			if err := s.Append(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Free()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lifecycles/s")
+}
+
+// BenchmarkKVCachePrefixSharing measures the sharing path: every request
+// reuses a 1000-token prefix chain (publish, match, boundary divergence,
+// cache churn).
+func BenchmarkKVCachePrefixSharing(b *testing.B) {
+	p := kvcache.NewPool(4096, 64)
+	p.EnableSharing(kvcache.EvictLRU)
+	pfx := kvcache.Prefix{ID: "agent", Tokens: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, cached, err := p.NewSeqCached(pfx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Append(1500 - cached); err != nil {
+			b.Fatal(err)
+		}
+		for d := 0; d < 64; d++ {
+			if err := s.Append(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Free()
+	}
+	b.StopTimer()
+	st := p.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lifecycles/s")
+	if b.N > 1 && st.HitTokens == 0 {
+		b.Fatal("sharing bench never hit")
+	}
+	b.ReportMetric(float64(st.HitTokens)/float64(b.N), "hit-tok/op")
+}
+
+// BenchmarkExperimentPrefix regenerates the -exp prefix grid at quick scale
+// and reports its headline effect.
+func BenchmarkExperimentPrefix(b *testing.B) {
+	var r *experiments.PrefixResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.ExperimentPrefix(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	off, lru := r.Row(1, "off"), r.Row(1, "lru")
+	b.ReportMetric(lru.HitRate*100, "hit-%")
+	b.ReportMetric(off.MeanTTFT/lru.MeanTTFT, "ttft-speedup-x")
 }
 
 // --- Design-choice micro-benches ----------------------------------------

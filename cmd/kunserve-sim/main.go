@@ -3,12 +3,12 @@
 //
 // Usage:
 //
-//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|slo|all \
+//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|slo|prefix|all \
 //	    [-scale quick|full|clusterb] [-dataset burstgpt|sharegpt|longbench] \
 //	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT] \
 //	    [-parallel N] [-json] [-sweep key=lo:hi:step] [-spec workload.json] \
 //	    [-router least-loaded|round-robin|p2c|least-kv|affinity] \
-//	    [-queue fcfs|priority|edf]
+//	    [-queue fcfs|priority|edf] [-prefix-caching] [-cache-evict lru|fifo]
 //
 // -parallel bounds the worker pool the experiment run matrices execute on
 // (default GOMAXPROCS); results are bit-identical whatever the value.
@@ -21,10 +21,17 @@
 // examples/specs/) instead of the default BurstGPT burst schedule.
 // -router and -queue select the scheduling layer's dispatch router and
 // per-group wait-queue discipline (internal/sched); the defaults reproduce
-// the original least-loaded + FCFS path byte-identically. -exp slo runs
-// the multi-tenant SLO-attainment experiment (disciplines x systems on a
-// two-class workload, per-class attainment and goodput); it is not part of
-// "all" so that "all" output stays comparable across versions.
+// the original least-loaded + FCFS path byte-identically. -prefix-caching
+// turns on content-addressed KVCache prefix sharing (spec clients with
+// shared_prefix deduplicate their system prompts; summaries gain a
+// PrefixCache section) and -cache-evict picks its cached-block eviction
+// policy; both default off, which reproduces the identity-free allocator
+// byte-for-byte. -exp slo runs the multi-tenant SLO-attainment experiment
+// (disciplines x systems on a two-class workload, per-class attainment and
+// goodput); -exp prefix sweeps share ratio x cache policy on a
+// shared-prefix workload (the -spec file when given, else a built-in
+// agentic mix). Neither is part of "all" so that "all" output stays
+// comparable across versions.
 package main
 
 import (
@@ -45,7 +52,7 @@ import (
 
 // validExps lists every -exp value. "all" runs the paper figures; the slo
 // experiment is standalone so "all" output stays stable across versions.
-var validExps = []string{"table1", "fig2", "fig5", "fig12", "fig13", "fig12+13", "fig14", "fig15", "fig16", "fig17", "slo", "all"}
+var validExps = []string{"table1", "fig2", "fig5", "fig12", "fig13", "fig12+13", "fig14", "fig15", "fig16", "fig17", "slo", "prefix", "all"}
 
 func main() {
 	var (
@@ -62,6 +69,8 @@ func main() {
 		specFile  = flag.String("spec", "", "workload spec JSON driving the experiment trace")
 		router    = flag.String("router", "", "dispatch router: "+strings.Join(sched.RouterNames, ", ")+" (default least-loaded)")
 		queue     = flag.String("queue", "", "wait-queue discipline: "+strings.Join(sched.DisciplineNames, ", ")+" (default fcfs)")
+		prefixOn  = flag.Bool("prefix-caching", false, "enable content-addressed KVCache prefix sharing (default off; off reproduces the identity-free allocator byte-for-byte)")
+		evict     = flag.String("cache-evict", "", "cached-block eviction policy: lru (default), fifo; only meaningful with -prefix-caching")
 	)
 	flag.Parse()
 
@@ -104,12 +113,17 @@ func main() {
 	cfg.Parallel = *parallel
 	cfg.Router = *router
 	cfg.Queue = *queue
+	cfg.PrefixCaching = *prefixOn
+	cfg.CacheEvict = *evict
 	if err := cfg.ValidateSched(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *exp == "slo" && *queue != "" {
 		fmt.Fprintln(os.Stderr, "note: -exp slo compares every discipline (fcfs, priority, edf); -queue is ignored there")
+	}
+	if *exp == "prefix" && (*prefixOn || *evict != "") {
+		fmt.Fprintln(os.Stderr, "note: -exp prefix compares every cache policy (off, lru, fifo); -prefix-caching/-cache-evict are ignored there")
 	}
 	if *specFile != "" {
 		// The spec's own seed, duration, and rates govern the trace;
@@ -257,6 +271,12 @@ func runExp(name string, cfg experiments.Config) ([]artifact, error) {
 			return nil, err
 		}
 		return one("slo", r, func(w io.Writer) { experiments.PrintExperimentSLO(w, r) }), nil
+	case "prefix":
+		r, err := experiments.ExperimentPrefix(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("prefix", r, func(w io.Writer) { experiments.PrintExperimentPrefix(w, r) }), nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -13,8 +13,11 @@ import (
 )
 
 // Item is one request's share of an iteration: a prefill chunk of Chunk new
-// tokens over Prefix cached ones, or a decode step (Chunk == 1 over the
-// request's context).
+// tokens over Prefix already-present ones, or a decode step (Chunk == 1
+// over the request's context). Prefix counts every token whose KV already
+// exists — previously prefilled chunks plus prompt tokens served from the
+// shared prefix cache — so the attention cost over them is charged but
+// their projection/FFN compute is never re-done.
 type Item struct {
 	Req       *request.Request
 	IsPrefill bool
@@ -65,7 +68,10 @@ func DefaultBudget() Budget { return Budget{MaxTokens: 2048, MaxSeqs: 1024} }
 // contributes one token (decode priority, as in vLLM's scheduler), then
 // prefill chunks are packed FCFS into the remaining token budget, chunking
 // the last request to fit. Requests already done or still waiting stay
-// untouched.
+// untouched. Prompt tokens served from the shared prefix cache are part of
+// PrefilledTokens at admission, so cache hits never occupy budget here:
+// the iteration former only sees (and schedules) the chunks left to
+// compute.
 func FormIteration(decodes, prefills []*request.Request, b Budget) []Item {
 	if b.MaxTokens <= 0 {
 		panic(fmt.Sprintf("batching: MaxTokens = %d", b.MaxTokens))

@@ -259,3 +259,26 @@ func TestPropertyFormIterationBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A cache-hit request enters the running set with its shared prefix already
+// counted as prefilled: the former must schedule only the remaining chunks,
+// with the cached tokens charged as attention prefix, never as new work.
+func TestFormIterationSkipsCachedPrefix(t *testing.T) {
+	r := request.New(1, 0, 1200, 8)
+	r.PrefilledTokens = 1000 // served from the prefix cache at admission
+	items := FormIteration(nil, []*request.Request{r}, Budget{MaxTokens: 2048})
+	if len(items) != 1 {
+		t.Fatalf("items = %d", len(items))
+	}
+	it := items[0]
+	if !it.IsPrefill || it.Chunk != 200 {
+		t.Fatalf("chunk = %d, want the 200 uncached tokens", it.Chunk)
+	}
+	if it.Prefix != 1000 {
+		t.Fatalf("prefix = %d, want 1000 (attention over cached KV still charged)", it.Prefix)
+	}
+	w := it.ChunkWork()
+	if w.PrefixLen != 1000 || w.ChunkLen != 200 {
+		t.Fatalf("chunk work = %+v", w)
+	}
+}

@@ -57,6 +57,26 @@ type Config struct {
 	// disciplines read the TTFT targets, and per-class attainment
 	// metrics are computed against them.
 	SLOClasses sched.ClassTargets
+	// PrefixCaching turns on content-addressed KVCache prefix sharing:
+	// admission matches each request's shared-prefix chain against the
+	// group's block index, cache hits skip the matched prefill chunks,
+	// and freed prefix blocks are retained on an eviction list until
+	// memory pressure reclaims them. Off (the default) reproduces the
+	// identity-free counter pool byte-for-byte.
+	PrefixCaching bool
+	// CacheEvict names the cached-block eviction policy ("lru" default,
+	// "fifo"); only meaningful with PrefixCaching.
+	CacheEvict string
+	// RetryRoundDelay is how long a group sleeps before retrying a
+	// scheduling round in which memory pressure blocked every batch item
+	// and the policy freed nothing synchronously (default 10 ms).
+	//
+	// Determinism note: the delay is simulated time, so any fixed value
+	// is fully reproducible — but it participates in event ordering.
+	// Changing it reorders retry wakes against swap completions,
+	// migrations, and drops, and thereby changes results; treat it as
+	// part of the experiment configuration, not a free tuning knob.
+	RetryRoundDelay sim.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -75,6 +95,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MetricsWindow == 0 {
 		out.MetricsWindow = 4 * sim.Second
+	}
+	if out.RetryRoundDelay == 0 {
+		out.RetryRoundDelay = 10 * sim.Millisecond
 	}
 	return out
 }
@@ -96,8 +119,25 @@ type Cluster struct {
 	BlockTokens int
 	Budget      batching.Budget
 
+	// PrefixCaching mirrors the config switch; groups enable sharing on
+	// their pools when it is set.
+	PrefixCaching bool
+
+	cacheEvict      kvcache.EvictPolicy
+	retryRoundDelay sim.Duration
+
 	router        sched.Router
 	newDiscipline func() sched.Discipline
+
+	// retiredPools keeps the block pools of dissolved groups so their
+	// sharing stats (and the cached blocks a reconfiguration destroyed)
+	// stay visible in the run's KVCache report.
+	retiredPools []*kvcache.Pool
+
+	// peakCachedBlocks/peakSharedBlocks are monitor-sampled cluster-wide
+	// cache gauges.
+	peakCachedBlocks int
+	peakSharedBlocks int
 
 	groups      []*Group
 	nextGroupID int
@@ -135,6 +175,10 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("cluster: nil policy")
 	}
+	evict, err := kvcache.EvictPolicyByName(cfg.CacheEvict)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		Sim:              sim.New(cfg.Seed),
 		Model:            cfg.Model,
@@ -143,6 +187,9 @@ func New(cfg Config) (*Cluster, error) {
 		SLOClasses:       cfg.SLOClasses,
 		BlockTokens:      cfg.BlockTokens,
 		Budget:           cfg.Budget,
+		PrefixCaching:    cfg.PrefixCaching,
+		cacheEvict:       evict,
+		retryRoundDelay:  cfg.RetryRoundDelay,
 		monitorInterval:  cfg.MonitorInterval,
 		Collector:        metrics.NewCollector(cfg.MetricsWindow),
 		HostParamReplica: true,
@@ -217,11 +264,14 @@ func (c *Cluster) GroupByID(id int) *Group {
 	return nil
 }
 
-// RemoveGroup unregisters a closed group.
+// RemoveGroup unregisters a closed group. Its block pool is retired, not
+// forgotten: the sharing stats survive into KVCacheReport, and cached
+// blocks that die with the pool count as reconfiguration evictions.
 func (c *Cluster) RemoveGroup(g *Group) {
 	for i, x := range c.groups {
 		if x == g {
 			c.groups = append(c.groups[:i], c.groups[i+1:]...)
+			c.retiredPools = append(c.retiredPools, g.pool)
 			return
 		}
 	}
@@ -325,6 +375,21 @@ func (c *Cluster) UsedBytes() int64 {
 
 func (c *Cluster) monitorTick() {
 	c.Collector.ObserveKVDemand(c.Sim.Now(), c.DemandBytes())
+	if c.PrefixCaching {
+		cached, shared := 0, 0
+		for _, g := range c.groups {
+			if !g.closed {
+				cached += g.pool.CachedBlocks()
+				shared += g.pool.SharedBlocks()
+			}
+		}
+		if cached > c.peakCachedBlocks {
+			c.peakCachedBlocks = cached
+		}
+		if shared > c.peakSharedBlocks {
+			c.peakSharedBlocks = shared
+		}
+	}
 	c.Policy.OnTick(c)
 	// Nudge idle groups: asynchronous memory relief (swap completions,
 	// migrations) does not always have a wake edge.
@@ -350,6 +415,16 @@ func (c *Cluster) Serve(tr *workload.Trace, horizon sim.Time) *metrics.Collector
 		c.Sim.At(wr.Arrival, fmt.Sprintf("arrive:%d", wr.ID), func() {
 			r := request.New(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen)
 			r.Client, r.Class = wr.Client, wr.Class
+			if wr.SharedPrefix > 0 {
+				// Clamp so at least the final prompt token is always
+				// computed (engines need its logits even on a full
+				// prefix hit).
+				sp := wr.SharedPrefix
+				if sp >= wr.InputLen {
+					sp = wr.InputLen - 1
+				}
+				r.Prefix = kvcache.Prefix{ID: wr.Client, Tokens: sp}
+			}
 			if err := c.Dispatch(r); err != nil {
 				c.noteDispatchError(err)
 			}
@@ -388,6 +463,9 @@ func TransplantRequests(dst *Group, running, waiting []*request.Request, stalled
 			continue
 		}
 		r.Seq.Free()
+		// The transplanted copy keeps its shared-prefix identity so the
+		// content re-enters the successor pool's index when it completes.
+		seq.SetPrefix(r.Prefix)
 		r.Seq = seq
 		dst.AdoptRunning(r)
 		if s, ok := stalled[r.ID]; ok && s != nil {
@@ -398,6 +476,62 @@ func TransplantRequests(dst *Group, running, waiting []*request.Request, stalled
 		r.GroupID = dst.ID
 		dst.queue.Push(r)
 	}
+}
+
+// KVCacheReport aggregates the prefix-cache activity of a whole run:
+// every live pool's counters plus those of pools retired by
+// reconfiguration, the monitor-sampled gauges, and the collector's
+// prefill hit accounting.
+type KVCacheReport struct {
+	kvcache.Stats
+
+	// CachedBlocks and SharedBlocks are the end-of-run gauges across live
+	// pools: freed-but-cached blocks and referenced published ("pinned")
+	// blocks. Peak* are their monitor-sampled maxima.
+	CachedBlocks     int
+	SharedBlocks     int
+	PeakCachedBlocks int
+	PeakSharedBlocks int
+
+	// ReconfigEvicted counts cached blocks destroyed because their pool
+	// was dissolved by a drop merge or a restore split.
+	ReconfigEvicted int
+
+	// PrefillTokens / CachedPrefillTokens mirror the collector's prefill
+	// hit accounting; HitRate is their ratio.
+	PrefillTokens       int64
+	CachedPrefillTokens int64
+	HitRate             float64
+}
+
+// KVCacheReport scrapes the cluster's prefix-cache state. Meaningful only
+// when PrefixCaching is enabled; all-zero otherwise.
+func (c *Cluster) KVCacheReport() KVCacheReport {
+	var r KVCacheReport
+	for _, g := range c.groups {
+		if g.closed {
+			continue
+		}
+		r.Stats.Add(g.pool.Stats())
+		r.CachedBlocks += g.pool.CachedBlocks()
+		r.SharedBlocks += g.pool.SharedBlocks()
+	}
+	for _, p := range c.retiredPools {
+		r.Stats.Add(p.Stats())
+		r.ReconfigEvicted += p.CachedBlocks()
+	}
+	r.PeakCachedBlocks = c.peakCachedBlocks
+	r.PeakSharedBlocks = c.peakSharedBlocks
+	if r.CachedBlocks > r.PeakCachedBlocks {
+		r.PeakCachedBlocks = r.CachedBlocks
+	}
+	if r.SharedBlocks > r.PeakSharedBlocks {
+		r.PeakSharedBlocks = r.SharedBlocks
+	}
+	r.PrefillTokens = c.Collector.PrefillTokens
+	r.CachedPrefillTokens = c.Collector.CachedPrefillTokens
+	r.HitRate = c.Collector.PrefixHitRate()
+	return r
 }
 
 // Seq re-exported types for policies.

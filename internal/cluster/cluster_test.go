@@ -507,3 +507,125 @@ func TestTransplantRequestsEdgePaths(t *testing.T) {
 	}
 	_ = g0
 }
+
+// prefixTrace builds sequential same-client requests whose first shared
+// tokens are identical (a system prompt).
+func prefixTrace(n int, gap float64, in, out, shared int) *workload.Trace {
+	tr := smallTrace(n, gap, in, out)
+	for i := range tr.Requests {
+		tr.Requests[i].Client = "agent"
+		tr.Requests[i].SharedPrefix = shared
+	}
+	return tr
+}
+
+func prefixCluster(t *testing.T, caching bool) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Seed:          1,
+		Model:         model.Qwen25_14B(),
+		GPU:           gpu.A800(),
+		Instances:     1,
+		Policy:        recomputePolicy{},
+		PrefixCaching: caching,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPrefixCachingServesRepeatPromptsFromCache(t *testing.T) {
+	c := prefixCluster(t, true)
+	col := c.Serve(prefixTrace(8, 2.0, 1200, 16, 1000), sim.FromSeconds(120))
+	if col.TTFT.Count() != 8 {
+		t.Fatalf("finished = %d", col.TTFT.Count())
+	}
+	if col.CachedPrefillTokens == 0 {
+		t.Fatal("no prefill tokens served from cache")
+	}
+	if hr := col.PrefixHitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+	rep := c.KVCacheReport()
+	if rep.Published == 0 || rep.Hits == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.CachedBlocks == 0 {
+		t.Fatal("no blocks cached after all requests freed")
+	}
+	// Warm requests skip most of the 1000-token shared prefill: their
+	// TTFT must beat the cold first request's clearly.
+	cold := col.Records[0].TTFT()
+	warm := col.Records[len(col.Records)-1].TTFT()
+	if warm >= cold*0.8 {
+		t.Errorf("warm TTFT %.3fs not clearly below cold %.3fs", warm, cold)
+	}
+	if err := c.Groups()[0].Pool().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With caching disabled, shared-prefix tags must be completely inert: the
+// run is indistinguishable from the same trace without tags.
+func TestPrefixTagsInertWhenCachingDisabled(t *testing.T) {
+	tagged := prefixCluster(t, false)
+	colTagged := tagged.Serve(prefixTrace(8, 0.25, 1200, 32, 1000), sim.FromSeconds(120))
+	plain := prefixCluster(t, false)
+	colPlain := plain.Serve(smallTrace(8, 0.25, 1200, 32), sim.FromSeconds(120))
+	if colTagged.CachedPrefillTokens != 0 {
+		t.Fatal("disabled caching served from cache")
+	}
+	if len(colTagged.Records) != len(colPlain.Records) {
+		t.Fatalf("finished %d vs %d", len(colTagged.Records), len(colPlain.Records))
+	}
+	for i := range colTagged.Records {
+		a, b := colTagged.Records[i], colPlain.Records[i]
+		if a.TTFT() != b.TTFT() || a.Completed != b.Completed {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	if rep := tagged.KVCacheReport(); rep.Stats != (kvcache.Stats{}) {
+		t.Fatalf("disabled run accumulated stats: %+v", rep.Stats)
+	}
+}
+
+// The shared prefix is clamped so the final prompt token always computes:
+// a full-prompt "hit" would otherwise finish prefill without running
+// anything.
+func TestPrefixClampLeavesOnePrivateToken(t *testing.T) {
+	c := prefixCluster(t, true)
+	tr := prefixTrace(4, 1.0, 600, 8, 900) // shared_prefix > input
+	col := c.Serve(tr, sim.FromSeconds(60))
+	if col.TTFT.Count() != 4 {
+		t.Fatalf("finished = %d", col.TTFT.Count())
+	}
+	for _, rec := range col.Records {
+		if rec.TTFT() <= 0 {
+			t.Fatal("zero TTFT: a request computed nothing")
+		}
+	}
+}
+
+func TestRetryRoundDelayConfig(t *testing.T) {
+	c := prefixCluster(t, false)
+	if c.retryRoundDelay != 10*sim.Millisecond {
+		t.Fatalf("default retry delay = %v", c.retryRoundDelay)
+	}
+	c2, err := New(Config{
+		Seed: 1, Model: model.Qwen25_14B(), GPU: gpu.A800(), Instances: 1,
+		Policy: recomputePolicy{}, RetryRoundDelay: 25 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.retryRoundDelay != 25*sim.Millisecond {
+		t.Fatalf("configured retry delay = %v", c2.retryRoundDelay)
+	}
+	if _, err := New(Config{
+		Seed: 1, Model: model.Qwen25_14B(), GPU: gpu.A800(), Instances: 1,
+		Policy: recomputePolicy{}, CacheEvict: "nope",
+	}); err == nil {
+		t.Fatal("unknown eviction policy accepted")
+	}
+}

@@ -46,8 +46,7 @@ type Group struct {
 	// round against being chosen as preemption victims mid-round.
 	lockedRound map[int]bool
 
-	// queuedAt remembers when each waiting request entered the queue
-	// (diagnostics only).
+	// roundsRun counts completed scheduling rounds (diagnostics only).
 	roundsRun int
 }
 
@@ -88,6 +87,9 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 		}
 	}
 	g.pool = kvcache.NewPool(capTokens/cl.BlockTokens, cl.BlockTokens)
+	if cl.PrefixCaching {
+		g.pool.EnableSharing(cl.cacheEvict)
+	}
 
 	stages := make([]*pipeline.Stage, len(insts))
 	for i, in := range insts {
@@ -205,7 +207,11 @@ func (g *Group) Victim() *request.Request {
 }
 
 // PreemptRecompute drops a running request's KVCache and re-queues it for
-// recomputation (the vLLM default and everyone's last resort).
+// recomputation (the vLLM default and everyone's last resort). Under
+// prefix caching the drop is not a void: the victim's shared-prefix blocks
+// land on the pool's cached list, so its re-admission — and every other
+// request with the same prefix — skips that part of the re-prefill unless
+// pressure evicted the blocks in between.
 func (g *Group) PreemptRecompute(r *request.Request) {
 	g.removeRunning(r)
 	if r.Seq != nil {
@@ -282,7 +288,11 @@ func (g *Group) maxRunning() int {
 // admit moves waiting requests into the running set in the discipline's
 // dispatch order while their prompts fit in free KV blocks. Admission is
 // head-of-line: when the head does not fit, nothing behind it is admitted
-// (every discipline defines fairness by defining the head).
+// (every discipline defines fairness by defining the head). With prefix
+// caching the fit check reserves net of the cached chain — the hit tokens
+// need no new blocks, but the matched blocks also stop counting as
+// reclaimable (CanFitWithPrefix) — and the matched prefix counts as
+// already prefilled, so those chunks never reach the iteration former.
 func (g *Group) admit() {
 	for g.queue.Len() > 0 {
 		if len(g.running) >= g.maxRunning() {
@@ -294,15 +304,23 @@ func (g *Group) admit() {
 			g.queue.Pop()
 			continue
 		}
-		if !g.pool.CanFit(r.PrefillTarget()) {
+		pfx := r.Prefix
+		if !g.cl.PrefixCaching {
+			pfx = kvcache.Prefix{}
+		}
+		if !g.pool.CanFitWithPrefix(pfx, r.PrefillTarget()) {
 			return
 		}
-		seq, err := g.pool.NewSeq(0)
+		seq, hit, err := g.pool.NewSeqCached(pfx)
 		if err != nil {
 			return
 		}
 		g.queue.Pop()
 		r.Seq = seq
+		if hit > 0 {
+			r.PrefilledTokens = hit
+		}
+		g.cl.Collector.ObservePrefill(hit, r.PrefillTarget())
 		r.SetState(request.StateRunning)
 		g.running = append(g.running, r)
 	}
@@ -388,10 +406,11 @@ func (g *Group) startRound() {
 	if len(items) == 0 {
 		if hadWork {
 			// Memory pressure blocked every item and the policy
-			// could not free anything synchronously; retry soon
-			// (asynchronous relief — swap-out completion, a
-			// migration, a drop — will land in the meantime).
-			g.cl.Sim.After(10*sim.Millisecond, "retry-round", g.Wake)
+			// could not free anything synchronously; retry after
+			// Config.RetryRoundDelay (asynchronous relief — swap-out
+			// completion, a migration, a drop — will land in the
+			// meantime).
+			g.cl.Sim.After(g.cl.retryRoundDelay, "retry-round", g.Wake)
 		}
 		g.fireDrainedIfIdle()
 		return

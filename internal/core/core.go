@@ -97,6 +97,12 @@ type Event struct {
 	// FreedBytes is the parameter memory moved to (or reclaimed from)
 	// KVCache.
 	FreedBytes int64
+	// EvictedCachedBlocks counts freed-but-cached prefix blocks this
+	// reconfiguration destroyed: blocks evicted when a restore shrank the
+	// pool to take parameter memory back, or blocks that died with the
+	// pools a drop merge dissolved. Zero (and omitted from JSON) when
+	// prefix caching is off.
+	EvictedCachedBlocks int `json:",omitempty"`
 }
 
 // Policy is the KunServe overload handler.

@@ -86,8 +86,9 @@ func (p *Policy) maybeDrop(c *cluster.Cluster) bool {
 	pending := len(changed)
 	for _, m := range changed {
 		m := m
-		p.executeMerge(c, m, -1, func(freed int64) {
+		p.executeMerge(c, m, -1, func(freed int64, evictedCached int) {
 			p.events[eventIdx].FreedBytes += freed
+			p.events[eventIdx].EvictedCachedBlocks += evictedCached
 			pending--
 			if pending == 0 {
 				p.events[eventIdx].End = c.Sim.Now()
@@ -144,8 +145,9 @@ func (p *Policy) extendExistingGroups(c *cluster.Cluster, required int64) int64 
 
 // executeMerge drains the groups of one merge, reshapes layers, builds the
 // pipelined successor group, transplants requests, and launches the KVCache
-// exchange. done receives the parameter bytes freed.
-func (p *Policy) executeMerge(c *cluster.Cluster, m planner.Merge, requiredKV int64, done func(freed int64)) {
+// exchange. done receives the parameter bytes freed and the cached prefix
+// blocks that died with the dissolved pools.
+func (p *Policy) executeMerge(c *cluster.Cluster, m planner.Merge, requiredKV int64, done func(freed int64, evictedCached int)) {
 	groups := make([]*cluster.Group, 0, len(m.GroupIDs))
 	for _, id := range m.GroupIDs {
 		g := c.GroupByID(id)
@@ -167,7 +169,7 @@ func (p *Policy) executeMerge(c *cluster.Cluster, m planner.Merge, requiredKV in
 	}
 }
 
-func (p *Policy) mergeDrained(c *cluster.Cluster, groups []*cluster.Group, requiredKV int64, done func(freed int64)) {
+func (p *Policy) mergeDrained(c *cluster.Cluster, groups []*cluster.Group, requiredKV int64, done func(freed int64, evictedCached int)) {
 	// Collect member instances in stage order and their old group sizes
 	// (for exchange-volume accounting).
 	type carried struct {
@@ -245,11 +247,19 @@ func (p *Policy) mergeDrained(c *cluster.Cluster, groups []*cluster.Group, requi
 	}
 	cluster.TransplantRequests(ng, nil, waiting, nil)
 
+	// The merged pool starts cold: whatever prefix blocks the dissolved
+	// pools still cached (including blocks the transplants just freed
+	// into them) are destroyed by the reshape.
+	evictedCached := 0
+	for _, g := range groups {
+		evictedCached += g.Pool().CachedBlocks()
+	}
+
 	// The remap (cuMemUnmap/cuMemMap pass) gates the first post-drop
 	// round (§4.1: ~5 ms, negligible vs inference).
 	c.Sim.After(maxRemap, "drop-remap", func() {
 		ng.Wake()
-		done(freed)
+		done(freed, evictedCached)
 	})
 }
 

@@ -58,13 +58,22 @@ func (p *Policy) restoreGroup(c *cluster.Cluster, g *cluster.Group) {
 		targetCap += singletonCapacityTokens(in)
 	}
 	removeBlocks := g.Pool().TotalBlocks() - targetCap/g.Pool().BlockTokens()
+	evictedCached := 0
 	if removeBlocks > 0 {
-		if err := g.Pool().RemoveBlocks(removeBlocks); err != nil {
+		// The shrink evicts freed-but-cached prefix blocks before it
+		// fails: restoration outranks the warm cache, but what it
+		// destroyed is reported on the event.
+		ev, err := g.Pool().RemoveBlocksEvicting(removeBlocks)
+		if err != nil {
 			return
 		}
+		evictedCached = ev
 	}
 	p.reconfiguring = true
-	p.events = append(p.events, Event{Kind: "restore", Start: c.Sim.Now()})
+	p.events = append(p.events, Event{
+		Kind: "restore", Start: c.Sim.Now(),
+		EvictedCachedBlocks: evictedCached,
+	})
 	eventIdx := len(p.events) - 1
 
 	// Phase 1: pull missing layers, overlapped with serving. Parameters
@@ -137,6 +146,11 @@ func (p *Policy) splitRestoredGroup(c *cluster.Cluster, g *cluster.Group, eventI
 	for i, r := range waiting {
 		newGroups[i%len(newGroups)].Enqueue(r)
 	}
+
+	// Whatever prefix blocks were still cached in the dissolved pipeline
+	// pool (including blocks the transplants just freed into it) die with
+	// it; attribute them to this restoration.
+	p.events[eventIdx].EvictedCachedBlocks += g.Pool().CachedBlocks()
 
 	c.Sim.After(maxRemap, "restore-remap", func() {
 		for _, ng := range newGroups {

@@ -17,6 +17,7 @@ import (
 	"kunserve/internal/cluster"
 	"kunserve/internal/core"
 	"kunserve/internal/gpu"
+	"kunserve/internal/kvcache"
 	"kunserve/internal/model"
 	"kunserve/internal/runner"
 	"kunserve/internal/sched"
@@ -97,6 +98,15 @@ type Config struct {
 	// Queue names the wait-queue discipline (sched.DisciplineNames); ""
 	// selects FCFS, which reproduces the pre-sched wait queue exactly.
 	Queue string
+	// PrefixCaching enables content-addressed KVCache prefix sharing on
+	// every cell this config runs: requests carrying a shared prefix
+	// (spec clients with shared_prefix) deduplicate their system-prompt
+	// blocks and skip the matched prefill chunks. Off by default — the
+	// default path reproduces the identity-free allocator byte-for-byte.
+	PrefixCaching bool
+	// CacheEvict names the cached-block eviction policy ("" = lru;
+	// "fifo"); only meaningful with PrefixCaching.
+	CacheEvict string
 	// HorizonSlack extends the simulation past the trace end so queued
 	// work drains.
 	HorizonSlack sim.Duration
@@ -267,6 +277,8 @@ func (c Config) clusterConfig(tr *workload.Trace) cluster.Config {
 		Instances:        c.Instances,
 		NetBandwidth:     c.NetBandwidth,
 		KVProvisionBytes: c.kvProvisionFor(tr),
+		PrefixCaching:    c.PrefixCaching,
+		CacheEvict:       c.CacheEvict,
 	}
 	if c.WorkloadSpec != nil {
 		cc.SLOClasses = c.WorkloadSpec.ClassTargets()
@@ -294,12 +306,16 @@ func (c Config) clusterConfig(tr *workload.Trace) cluster.Config {
 	return cc
 }
 
-// ValidateSched rejects unknown router/queue names before any cell runs.
+// ValidateSched rejects unknown router/queue/eviction names before any
+// cell runs.
 func (c Config) ValidateSched() error {
 	if _, err := sched.NewRouterByName(c.Router, 0); err != nil {
 		return err
 	}
-	_, err := sched.NewDisciplineByName(c.Queue, nil)
+	if _, err := sched.NewDisciplineByName(c.Queue, nil); err != nil {
+		return err
+	}
+	_, err := kvcache.EvictPolicyByName(c.CacheEvict)
 	return err
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"reflect"
 	"strings"
@@ -633,4 +634,111 @@ func TestNewPolicyUnknownPanics(t *testing.T) {
 		}
 	}()
 	NewPolicy(System("nope"))
+}
+
+// The paged-KVCache refactor's hard constraint: with prefix caching off
+// (the default), shared-prefix workload tags are inert — the run is
+// DeepEqual to the zero-value configuration down to per-record latencies —
+// and default summaries marshal without any PrefixCache key, so -exp all
+// -json stays byte-identical to the pre-refactor output (CI diffs the
+// binary output against main on top of this).
+func TestPrefixCachingOffByteIdentical(t *testing.T) {
+	base, err := RunAllSystems(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Quick()
+	cfg.PrefixCaching = false
+	cfg.CacheEvict = ""
+	explicit, err := RunAllSystems(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, explicit) {
+		t.Fatal("explicit caching-off differs from the zero-value default")
+	}
+	for _, s := range base.Systems {
+		if s.PrefixCache != nil {
+			t.Fatalf("%s: default run carries a PrefixCache summary", s.System)
+		}
+		js, err := json.Marshal(s.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(js), "PrefixCache") {
+			t.Fatalf("%s: default summary JSON mentions PrefixCache: %s", s.System, js)
+		}
+	}
+	cfg.CacheEvict = "nope"
+	if err := cfg.ValidateSched(); err == nil {
+		t.Fatal("unknown eviction policy accepted")
+	}
+}
+
+// ExperimentPrefix is the acceptance gate for the prefix-cache refactor:
+// on a shared-prefix workload the cached run must report a nonzero hit
+// rate and a lower mean TTFT than the sharing-off run of the same trace,
+// and reconfigurations under a warm cache must report the cached blocks
+// they destroyed.
+func TestExperimentPrefix(t *testing.T) {
+	res, err := ExperimentPrefix(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(PrefixShareRatios)*len(PrefixPolicies) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	off, lru := res.Row(1, "off"), res.Row(1, "lru")
+	if off == nil || lru == nil {
+		t.Fatal("missing full-share rows")
+	}
+	if lru.HitRate <= 0 || lru.PrefillTokensSaved <= 0 {
+		t.Fatalf("no cache effect at full share: %+v", lru)
+	}
+	if lru.MeanTTFT >= off.MeanTTFT {
+		t.Fatalf("caching did not improve mean TTFT: %.3fs vs %.3fs", lru.MeanTTFT, off.MeanTTFT)
+	}
+	if off.HitRate != 0 || off.PrefillTokensSaved != 0 {
+		t.Fatalf("sharing-off run reported cache activity: %+v", off)
+	}
+	// Zero share ratio: caching on but nothing shareable — results match
+	// the off run of the same trace.
+	z0, zl := res.Row(0, "off"), res.Row(0, "lru")
+	if z0.MeanTTFT != zl.MeanTTFT || z0.TTFTP99 != zl.TTFTP99 || zl.HitRate != 0 {
+		t.Fatalf("zero-share rows diverged: %+v vs %+v", z0, zl)
+	}
+	// A drop plan executed under a warm cache reports what it evicted.
+	if lru.Drops > 0 && lru.ReconfigEvicted == 0 {
+		t.Fatalf("drops under warm cache reported no evicted cached blocks: %+v", lru)
+	}
+	var buf bytes.Buffer
+	PrintExperimentPrefix(&buf, res)
+	if !strings.Contains(buf.String(), "hit%") {
+		t.Fatal("printer output missing")
+	}
+}
+
+// The example spec drives the same acceptance through the CLI path.
+func TestExperimentPrefixExampleSpec(t *testing.T) {
+	s, err := spec.Load("../../examples/specs/shared_prefix.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Quick()
+	cfg.WorkloadSpec = s
+	res, err := ExperimentPrefix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, lru := res.Row(1, "off"), res.Row(1, "lru")
+	if lru.HitRate <= 0 {
+		t.Fatalf("example spec produced no hits: %+v", lru)
+	}
+	if lru.MeanTTFT >= off.MeanTTFT {
+		t.Fatalf("example spec: caching did not lower mean TTFT (%.2fs vs %.2fs)",
+			lru.MeanTTFT, off.MeanTTFT)
+	}
+	if lru.Drops > 0 && lru.ReconfigEvicted == 0 {
+		t.Fatalf("warm-cache drop reported no evictions: %+v", lru)
+	}
 }

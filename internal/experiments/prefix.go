@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kunserve/internal/cluster"
+	"kunserve/internal/runner"
+	"kunserve/internal/workload/spec"
+)
+
+// PrefixPolicies are the cache configurations the prefix experiment
+// compares: sharing off (the identity-free baseline), and sharing on under
+// LRU and FIFO cached-block eviction.
+var PrefixPolicies = []string{"off", "lru", "fifo"}
+
+// PrefixShareRatios scale the workload's declared shared_prefix lengths:
+// 0 turns the shared prompts off entirely, 1 runs them as declared.
+var PrefixShareRatios = []float64{0, 0.5, 1}
+
+// PrefixRow is one cell of the share-ratio x cache-policy grid.
+type PrefixRow struct {
+	// ShareRatio scales the spec's shared_prefix token counts; Policy is
+	// "off" (no prefix caching) or the eviction policy caching ran under.
+	ShareRatio float64
+	Policy     string
+
+	Finished int
+	MeanTTFT float64
+	TTFTP50  float64
+	TTFTP99  float64
+	TPOTP50  float64
+
+	// HitRate and PrefillTokensSaved quantify the prefill compute the
+	// cache eliminated; the remaining counters expose its costs: CoW
+	// copies on divergence and evictions under pressure, shrink, and
+	// reconfiguration.
+	HitRate            float64
+	PrefillTokensSaved int64
+	CoWCopies          int64
+	Evictions          int64
+	ShrinkEvictions    int64
+	ReconfigEvicted    int
+	PeakCachedBlocks   int
+
+	Drops    int
+	Restores int
+}
+
+// PrefixResult is the -exp prefix experiment: the KunServe system serving a
+// shared-prefix workload across share ratios and cache policies.
+type PrefixResult struct {
+	SpecName string
+	System   System
+	Rows     []PrefixRow
+}
+
+// Row finds the cell for (ratio, policy), or nil.
+func (r *PrefixResult) Row(ratio float64, policy string) *PrefixRow {
+	for i := range r.Rows {
+		if r.Rows[i].ShareRatio == ratio && r.Rows[i].Policy == policy {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// scaleSharedPrefix returns a copy of s with every client's shared_prefix
+// scaled by ratio. Arrivals and lengths are untouched, so all ratios serve
+// identical traffic — only the dedupable fraction changes.
+func scaleSharedPrefix(s *spec.Spec, ratio float64) *spec.Spec {
+	out := *s
+	out.Clients = make([]spec.Client, len(s.Clients))
+	copy(out.Clients, s.Clients)
+	for i := range out.Clients {
+		out.Clients[i].SharedPrefix = int(float64(out.Clients[i].SharedPrefix) * ratio)
+	}
+	return &out
+}
+
+// ExperimentPrefix sweeps share ratio x cache policy over the KunServe
+// system on a shared-prefix workload: the config's spec when one is set
+// (its shared_prefix values are the ratio-1 baseline), otherwise a built-in
+// agentic mix where 60% of traffic reuses a ~1K-token system prompt. Every
+// cell serves the same trace; what varies is how much of each prompt is
+// shareable and whether the paged KVCache is allowed to share it.
+func ExperimentPrefix(cfg Config) (*PrefixResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.ValidateSched(); err != nil {
+		return nil, err
+	}
+	base := cfg.WorkloadSpec
+	if base == nil {
+		base = defaultSharedPrefixSpec(cfg)
+	}
+	declared := 0
+	for _, c := range base.Clients {
+		declared += c.SharedPrefix
+	}
+	if declared == 0 {
+		return nil, fmt.Errorf("experiments: prefix experiment needs a spec with shared_prefix clients")
+	}
+	res := &PrefixResult{SpecName: base.Name, System: SysKunServe}
+	set := runner.NewSet(cfg.Parallel)
+	type cellMeta struct {
+		ratio  float64
+		policy string
+	}
+	var metas []cellMeta
+	for _, ratio := range PrefixShareRatios {
+		scaled := scaleSharedPrefix(base, ratio)
+		tr, err := scaled.Compile()
+		if err != nil {
+			return nil, err
+		}
+		cellCfg := cfg
+		cellCfg.WorkloadSpec = scaled
+		for _, policy := range PrefixPolicies {
+			cellCfg.PrefixCaching = policy != "off"
+			cellCfg.CacheEvict = ""
+			if cellCfg.PrefixCaching {
+				cellCfg.CacheEvict = policy
+			}
+			set.Add(runner.Cell{
+				Key:       fmt.Sprintf("share=%.2f/%s", ratio, policy),
+				Cluster:   cellCfg.clusterConfig(tr),
+				NewPolicy: func() cluster.Policy { return NewPolicy(SysKunServe) },
+				Trace:     tr,
+				Horizon:   tr.Duration().Add(cellCfg.HorizonSlack),
+			})
+			metas = append(metas, cellMeta{ratio, policy})
+		}
+	}
+	results, err := set.Execute()
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		s := r.Summary
+		row := PrefixRow{
+			ShareRatio: metas[i].ratio,
+			Policy:     metas[i].policy,
+			Finished:   s.Finished,
+			MeanTTFT:   meanOf(s.TTFTs),
+			TTFTP50:    s.TTFTP50,
+			TTFTP99:    s.TTFTP99,
+			TPOTP50:    s.TPOTP50,
+			Drops:      s.Drops,
+			Restores:   s.Restores,
+		}
+		if pc := s.PrefixCache; pc != nil {
+			row.HitRate = pc.HitRate
+			row.PrefillTokensSaved = pc.PrefillTokensSaved
+			row.CoWCopies = pc.CoWCopies
+			row.Evictions = pc.Evictions
+			row.ShrinkEvictions = pc.ShrinkEvictions
+			row.ReconfigEvicted = pc.ReconfigEvicted
+			row.PeakCachedBlocks = pc.PeakCachedBlocks
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func meanOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// defaultSharedPrefixSpec is the built-in agentic mix: an "agent" client
+// whose every request reopens the same ~1K-token system prompt plus tool
+// scaffold, and an "adhoc" client with unshared conversational traffic,
+// both following the BurstGPT burst schedule.
+func defaultSharedPrefixSpec(cfg Config) *spec.Spec {
+	return &spec.Spec{
+		Name:      "shared_prefix_default",
+		Seed:      cfg.Seed,
+		DurationS: cfg.Duration.Seconds(),
+		TotalRPS:  cfg.BaseRPS,
+		Clients: []spec.Client{
+			{
+				Name:         "agent",
+				RateFraction: 0.6,
+				// Deliberately not a multiple of the 64-token block
+				// size: the boundary block is cached partially
+				// filled, so divergence (and copy-on-write) is part
+				// of the exercised path.
+				SharedPrefix: 1000,
+				Arrival:      spec.Arrival{Process: "burst"},
+				Input:        &spec.Length{Mean: 1500, Sigma: 0.5, Min: 1100, Max: 8192},
+				Output:       &spec.Length{Mean: 250, Sigma: 0.8, Min: 4, Max: 2048},
+			},
+			{
+				Name:         "adhoc",
+				RateFraction: 0.4,
+				Arrival:      spec.Arrival{Process: "burst"},
+				Dataset:      "burstgpt",
+			},
+		},
+	}
+}
+
+// PrintExperimentPrefix renders the grid.
+func PrintExperimentPrefix(w io.Writer, r *PrefixResult) {
+	printHeader(w, fmt.Sprintf("Prefix caching: share ratio x policy on %s (%s)", r.System, r.SpecName))
+	fmt.Fprintf(w, "%-7s %-5s %9s %9s %9s %8s %12s %7s %8s %9s %6s\n",
+		"share", "cache", "meanTTFT", "p50TTFT", "p99TTFT", "hit%", "saved-tok", "CoW", "evicted", "reconfEv", "drops")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-7.2f %-5s %8.2fs %8.2fs %8.2fs %7.1f%% %12d %7d %8d %9d %6d\n",
+			row.ShareRatio, row.Policy, row.MeanTTFT, row.TTFTP50, row.TTFTP99,
+			row.HitRate*100, row.PrefillTokensSaved, row.CoWCopies,
+			row.Evictions+row.ShrinkEvictions, row.ReconfigEvicted, row.Drops)
+	}
+	if off, lru := r.Row(1, "off"), r.Row(1, "lru"); off != nil && lru != nil && lru.MeanTTFT > 0 {
+		fmt.Fprintf(w, "at full share: LRU caching cuts mean TTFT %.2fs -> %.2fs (%.2fx) at %.1f%% hit rate\n",
+			off.MeanTTFT, lru.MeanTTFT, off.MeanTTFT/lru.MeanTTFT, lru.HitRate*100)
+	}
+}

@@ -1,27 +1,152 @@
 // Package kvcache implements a vLLM-style paged KVCache block manager.
 //
 // GPU KVCache memory is carved into fixed-size blocks of blockTokens tokens
-// (the evaluation uses 64, the block size the paper tunes vLLM to). Each
-// request owns a sequence whose blocks are allocated on demand as tokens are
-// appended; internal fragmentation (the partially filled last block) is
-// captured by ceiling division exactly as in real paged attention. Sequences
-// can be swapped out (blocks released on GPU, token state retained for the
-// host copy) to support the InferCept baseline, and pools can grow or shrink
-// at runtime to support §4.1 parameter-drop memory extension.
+// (the evaluation uses 64, the block size the paper tunes vLLM to). Blocks
+// have identity: each sequence holds references to the physical blocks
+// backing its tokens, and blocks whose content is a span of a client's
+// shared prompt prefix are content-hashed by their position in the prefix
+// chain and published to a per-pool shared index with refcounts. New
+// sequences whose prompt starts with the same prefix reference the published
+// blocks instead of recomputing them (prefix caching); freed-but-cached
+// blocks sit on an eviction list (LRU by default) and are reclaimed before
+// any allocation fails; a sequence writing into a block it shares with
+// others triggers copy-on-write.
+//
+// With sharing disabled (the default, and always for sequences without a
+// prefix) the allocator degenerates to exact free-block counting: the same
+// arithmetic, the same error messages, the same admission decisions as the
+// original counter implementation.
+//
+// Sequences can be swapped out (blocks released on GPU, token state retained
+// for the host copy) to support the InferCept baseline — swap-in re-matches
+// the shared prefix chain, so a swapped victim's prefix blocks are not
+// duplicated if they survived in cache. Pools can grow or shrink at runtime
+// to support §4.1 parameter-drop memory extension; shrinking evicts
+// cached-free blocks before it fails and reports how many it evicted.
 package kvcache
 
-import "fmt"
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// EvictPolicy orders the freed-but-cached block list for reclamation.
+type EvictPolicy int
+
+const (
+	// EvictLRU reclaims the least recently freed cached block first (the
+	// vLLM prefix-cache default).
+	EvictLRU EvictPolicy = iota
+	// EvictFIFO reclaims cached blocks in first-ever-cached order,
+	// ignoring later reuse (a strictly worse policy the prefix experiment
+	// compares against).
+	EvictFIFO
+)
+
+// EvictPolicyByName resolves a policy name ("", "lru", "fifo").
+func EvictPolicyByName(name string) (EvictPolicy, error) {
+	switch name {
+	case "", "lru":
+		return EvictLRU, nil
+	case "fifo":
+		return EvictFIFO, nil
+	}
+	return 0, fmt.Errorf("kvcache: unknown eviction policy %q (valid: lru, fifo)", name)
+}
+
+// Prefix identifies the shared prompt prefix of a sequence: all sequences
+// with the same ID carry identical content in their first Tokens prompt
+// tokens (a multi-client spec's per-client system prompt). The zero value
+// means no shared prefix.
+type Prefix struct {
+	ID     string
+	Tokens int
+}
+
+// Stats counts a pool's sharing activity. Counters are cumulative for the
+// pool's lifetime; the cluster folds retired pools' stats into its report.
+type Stats struct {
+	// Lookups and Hits count prefix-chain matches attempted/succeeded at
+	// sequence creation; HitTokens is the total prefill tokens served from
+	// cache (the compute those sequences skipped).
+	Lookups   int64
+	Hits      int64
+	HitTokens int64
+	// Published counts blocks entered into the shared index.
+	Published int64
+	// CoWCopies counts copy-on-write block copies (divergence on a block
+	// referenced by more than one sequence).
+	CoWCopies int64
+	// Evictions counts cached blocks reclaimed under allocation pressure;
+	// ShrinkEvictions counts cached blocks evicted because the pool shrank
+	// (parameter restoration taking its memory back).
+	Evictions       int64
+	ShrinkEvictions int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Lookups += other.Lookups
+	s.Hits += other.Hits
+	s.HitTokens += other.HitTokens
+	s.Published += other.Published
+	s.CoWCopies += other.CoWCopies
+	s.Evictions += other.Evictions
+	s.ShrinkEvictions += other.ShrinkEvictions
+}
+
+// Block is one physical KVCache page. A block is in exactly one of three
+// states: free (no object exists; counted in freeBlocks), referenced
+// (refs > 0), or cached (refs == 0 but content retained on the eviction
+// list, awaiting reuse or reclamation).
+type Block struct {
+	// hash is the content hash of (prefix chain, token span); 0 while the
+	// block holds private (unshareable) content.
+	hash uint64
+	// filled counts tokens of content in the block.
+	filled int
+	// refs counts sequences referencing the block.
+	refs int
+	// cached marks membership of the freed-but-cached list.
+	cached bool
+	// tick orders the cached list for eviction (assignment policy-driven).
+	tick uint64
+}
+
+// Refs returns the number of sequences referencing the block.
+func (b *Block) Refs() int { return b.refs }
+
+// Filled returns the tokens of content in the block.
+func (b *Block) Filled() int { return b.filled }
+
+// Shared reports whether the block is published in the shared index.
+func (b *Block) Shared() bool { return b.hash != 0 }
 
 // Pool manages the block inventory of one serving instance (or one pipeline
 // stage's share after a drop).
 type Pool struct {
 	blockTokens int
 	totalBlocks int
-	freeBlocks  int
+	freeBlocks  int // content-free blocks
+	usedBlocks  int // blocks with refs > 0 (each physical block once)
 	seqs        int // live sequences, for leak checks
+
+	sharing bool
+	policy  EvictPolicy
+
+	// index maps chain hashes to published blocks (referenced or cached).
+	index map[uint64]*Block
+	// cachedList holds freed-but-cached blocks sorted by tick ascending;
+	// cachedList[0] is the next eviction victim.
+	cachedList []*Block
+	tick       uint64
+
+	stats Stats
 }
 
 // NewPool creates a pool of totalBlocks blocks of blockTokens tokens each.
+// Sharing is disabled until EnableSharing is called.
 func NewPool(totalBlocks, blockTokens int) *Pool {
 	if totalBlocks < 0 || blockTokens <= 0 {
 		panic(fmt.Sprintf("kvcache: pool %d x %d", totalBlocks, blockTokens))
@@ -33,28 +158,65 @@ func NewPool(totalBlocks, blockTokens int) *Pool {
 	}
 }
 
+// EnableSharing turns on prefix sharing and freed-block caching under the
+// given eviction policy. Call before any allocation.
+func (p *Pool) EnableSharing(policy EvictPolicy) {
+	p.sharing = true
+	p.policy = policy
+	if p.index == nil {
+		p.index = make(map[uint64]*Block)
+	}
+}
+
+// SharingEnabled reports whether prefix sharing is on.
+func (p *Pool) SharingEnabled() bool { return p.sharing }
+
 // BlockTokens returns tokens per block.
 func (p *Pool) BlockTokens() int { return p.blockTokens }
 
 // TotalBlocks returns the pool capacity in blocks.
 func (p *Pool) TotalBlocks() int { return p.totalBlocks }
 
-// FreeBlocks returns unallocated blocks.
+// FreeBlocks returns content-free blocks (cached blocks excluded; they are
+// reclaimable but still hold reusable prefix content — see CachedBlocks).
 func (p *Pool) FreeBlocks() int { return p.freeBlocks }
 
-// UsedBlocks returns allocated blocks.
-func (p *Pool) UsedBlocks() int { return p.totalBlocks - p.freeBlocks }
+// CachedBlocks returns freed-but-cached blocks awaiting reuse or eviction.
+func (p *Pool) CachedBlocks() int { return len(p.cachedList) }
 
-// Utilization returns the allocated fraction in [0,1]; 0 for empty pools.
+// AvailableBlocks returns blocks an allocation can claim right now: free
+// plus cached (cached blocks are evicted before allocation fails).
+func (p *Pool) AvailableBlocks() int { return p.freeBlocks + len(p.cachedList) }
+
+// UsedBlocks returns blocks referenced by live sequences. Shared blocks
+// count once however many sequences reference them.
+func (p *Pool) UsedBlocks() int { return p.usedBlocks }
+
+// SharedBlocks returns referenced blocks that are published in the shared
+// index (the "pinned" share of the cache).
+func (p *Pool) SharedBlocks() int {
+	n := 0
+	for _, b := range p.index {
+		if b.refs > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns the referenced fraction in [0,1]; 0 for empty pools.
 func (p *Pool) Utilization() float64 {
 	if p.totalBlocks == 0 {
 		return 0
 	}
-	return float64(p.UsedBlocks()) / float64(p.totalBlocks)
+	return float64(p.usedBlocks) / float64(p.totalBlocks)
 }
 
 // LiveSequences returns the number of unfreed sequences.
 func (p *Pool) LiveSequences() int { return p.seqs }
+
+// Stats returns the pool's cumulative sharing counters.
+func (p *Pool) Stats() Stats { return p.stats }
 
 // BlocksForTokens returns the blocks needed to hold n tokens.
 func (p *Pool) BlocksForTokens(n int) int {
@@ -64,9 +226,10 @@ func (p *Pool) BlocksForTokens(n int) int {
 	return (n + p.blockTokens - 1) / p.blockTokens
 }
 
-// CanFit reports whether n tokens could be allocated right now.
+// CanFit reports whether n tokens could be allocated right now (evicting
+// cached blocks if necessary).
 func (p *Pool) CanFit(n int) bool {
-	return p.BlocksForTokens(n) <= p.freeBlocks
+	return p.BlocksForTokens(n) <= p.AvailableBlocks()
 }
 
 // AddBlocks grows the pool (parameter drop freed memory).
@@ -78,60 +241,445 @@ func (p *Pool) AddBlocks(n int) {
 	p.freeBlocks += n
 }
 
-// RemoveBlocks shrinks the pool by n blocks, which must be free (restore
-// reclaims only unused tail memory).
+// RemoveBlocks shrinks the pool by n blocks, evicting cached-free blocks
+// when the free count alone does not cover the shrink (restore reclaims
+// only memory no live sequence holds).
 func (p *Pool) RemoveBlocks(n int) error {
+	_, err := p.RemoveBlocksEvicting(n)
+	return err
+}
+
+// RemoveBlocksEvicting is RemoveBlocks reporting how many cached blocks the
+// shrink had to evict — the number the drop/restore planner surfaces in its
+// reconfiguration events.
+func (p *Pool) RemoveBlocksEvicting(n int) (evicted int, err error) {
 	if n < 0 {
-		return fmt.Errorf("kvcache: RemoveBlocks(%d)", n)
+		return 0, fmt.Errorf("kvcache: RemoveBlocks(%d)", n)
 	}
-	if n > p.freeBlocks {
-		return fmt.Errorf("kvcache: remove %d blocks, only %d free", n, p.freeBlocks)
+	if n > p.AvailableBlocks() {
+		return 0, fmt.Errorf("kvcache: remove %d blocks, only %d free", n, p.AvailableBlocks())
+	}
+	for p.freeBlocks < n {
+		p.evictOne(true)
+		p.freeBlocks++
+		evicted++
 	}
 	p.totalBlocks -= n
 	p.freeBlocks -= n
-	return nil
+	return evicted, nil
 }
 
-// Seq is one request's KVCache allocation.
+// chainHash hashes the prefix chain up to block index k: the hash of block
+// k covers the prefix identity and every span before it, so equal hashes
+// mean equal content chains.
+func chainHash(id string, k int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var buf [8]byte
+	for i := 0; i <= k; i++ {
+		v := uint64(h.Sum64())
+		for j := 0; j < 8; j++ {
+			buf[j] = byte(v >> (8 * j))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64() | 1 // never 0: 0 marks private blocks
+}
+
+// takeBlock claims one physical block for a new reference, evicting the
+// oldest cached block if no free block exists. Returns nil when the pool is
+// exhausted.
+func (p *Pool) takeBlock() *Block {
+	if p.freeBlocks > 0 {
+		p.freeBlocks--
+		p.usedBlocks++
+		return &Block{refs: 1}
+	}
+	if len(p.cachedList) == 0 {
+		return nil
+	}
+	b := p.evictOne(false)
+	b.hash = 0
+	b.filled = 0
+	b.refs = 1
+	b.tick = 0
+	p.usedBlocks++
+	return b
+}
+
+// evictOne removes the eviction-order head from the cached list and the
+// shared index. shrink attributes the eviction to a pool shrink rather than
+// allocation pressure.
+func (p *Pool) evictOne(shrink bool) *Block {
+	b := p.cachedList[0]
+	p.cachedList = p.cachedList[1:]
+	b.cached = false
+	delete(p.index, b.hash)
+	if shrink {
+		p.stats.ShrinkEvictions++
+	} else {
+		p.stats.Evictions++
+	}
+	return b
+}
+
+// unref drops one reference; the last reference sends published blocks to
+// the cached list and returns private blocks to the free count.
+func (p *Pool) unref(b *Block) {
+	if b.refs <= 0 {
+		panic("kvcache: unref of unreferenced block")
+	}
+	b.refs--
+	if b.refs > 0 {
+		return
+	}
+	p.usedBlocks--
+	if p.sharing && b.hash != 0 {
+		p.cacheBlock(b)
+		return
+	}
+	p.freeBlocks++
+}
+
+// cacheBlock inserts a published, unreferenced block into the cached list
+// in eviction order. LRU restamps the tick on every insertion (recency);
+// FIFO keeps the first-ever tick, so a block that was matched and freed
+// again keeps its original eviction position.
+func (p *Pool) cacheBlock(b *Block) {
+	b.cached = true
+	if p.policy == EvictLRU || b.tick == 0 {
+		p.tick++
+		b.tick = p.tick
+		p.cachedList = append(p.cachedList, b)
+		return
+	}
+	// FIFO reinsertion: restore tick order.
+	i := sort.Search(len(p.cachedList), func(i int) bool {
+		return p.cachedList[i].tick > b.tick
+	})
+	p.cachedList = append(p.cachedList, nil)
+	copy(p.cachedList[i+1:], p.cachedList[i:])
+	p.cachedList[i] = b
+}
+
+// uncache removes a block from the cached list (it is being referenced
+// again).
+func (p *Pool) uncache(b *Block) {
+	for i, x := range p.cachedList {
+		if x == b {
+			p.cachedList = append(p.cachedList[:i], p.cachedList[i+1:]...)
+			b.cached = false
+			return
+		}
+	}
+	panic("kvcache: uncache of block not on cached list")
+}
+
+// walkChain visits the published chain for pfx in order, stopping at the
+// first gap. A block belongs to the chain only when it holds exactly the
+// expected span (full blocks mid-chain; the trimmed boundary block may
+// match partially filled). fn returns false to stop early. Every chain
+// consumer — probing, admission fit checks, claiming — goes through this
+// one walk so their match rules cannot drift apart.
+func (p *Pool) walkChain(pfx Prefix, fn func(k int, b *Block) bool) {
+	if !p.sharing || pfx.Tokens <= 0 {
+		return
+	}
+	for k := 0; k*p.blockTokens < pfx.Tokens; k++ {
+		want := pfx.Tokens - k*p.blockTokens
+		if want > p.blockTokens {
+			want = p.blockTokens
+		}
+		b := p.index[chainHash(pfx.ID, k)]
+		if b == nil || b.filled != want {
+			return
+		}
+		if !fn(k, b) {
+			return
+		}
+	}
+}
+
+// matchChain claims the published chain for pfx, referencing every matched
+// block, and returns the blocks and the tokens of content they carry.
+// maxTokens bounds the claim (a swapped-out sequence must not come back
+// holding more content than it logically has); pass pfx.Tokens or more for
+// an unbounded match.
+func (p *Pool) matchChain(pfx Prefix, maxTokens int) (blocks []*Block, tokens int) {
+	p.walkChain(pfx, func(_ int, b *Block) bool {
+		if tokens+b.filled > maxTokens {
+			return false
+		}
+		if b.cached {
+			p.uncache(b)
+			p.usedBlocks++
+		}
+		b.refs++
+		blocks = append(blocks, b)
+		tokens += b.filled
+		return true
+	})
+	return blocks, tokens
+}
+
+// CachedPrefixTokens probes how many tokens of pfx a new sequence would be
+// served from cache, without allocating anything.
+func (p *Pool) CachedPrefixTokens(pfx Prefix) int {
+	tokens := 0
+	p.walkChain(pfx, func(_ int, b *Block) bool {
+		tokens += b.filled
+		return true
+	})
+	return tokens
+}
+
+// fitWithPrefix computes whether a sequence of `tokens` total tokens whose
+// chain match is capped at maxMatch tokens can be allocated right now,
+// returning the blocks it would need beyond the match. The matched chain
+// is not double-counted: cached blocks the match will claim stop being
+// reclaimable, and when the chain ends in a partially filled boundary
+// block that other sequences still reference, the copy-on-write block the
+// first divergent write needs is reserved too. Mirrors exactly what
+// matchChain + fill will do, so a positive answer guarantees they succeed.
+func (p *Pool) fitWithPrefix(pfx Prefix, tokens, maxMatch int) (need int, ok bool) {
+	matched, cachedTok, fromCache := 0, 0, 0
+	cowRisk := false
+	p.walkChain(pfx, func(_ int, b *Block) bool {
+		if cachedTok+b.filled > maxMatch {
+			return false
+		}
+		matched++
+		cachedTok += b.filled
+		if b.cached {
+			fromCache++
+		}
+		cowRisk = b.filled < p.blockTokens && !b.cached
+		return true
+	})
+	need = p.BlocksForTokens(tokens) - matched
+	if need < 0 {
+		need = 0
+	}
+	if cowRisk && tokens > cachedTok {
+		// Writing past a live-shared partial boundary block copies it.
+		need++
+	}
+	return need, need <= p.AvailableBlocks()-fromCache
+}
+
+// CanFitWithPrefix reports whether a sequence with the given prefix and
+// total token count could be admitted right now (see fitWithPrefix;
+// admission uses this instead of CanFit on the net-of-hit remainder).
+func (p *Pool) CanFitWithPrefix(pfx Prefix, tokens int) bool {
+	if !p.sharing || pfx.Tokens <= 0 {
+		return p.CanFit(tokens)
+	}
+	_, ok := p.fitWithPrefix(pfx, tokens, pfx.Tokens)
+	return ok
+}
+
+// Seq is one request's KVCache allocation: an ordered chain of block
+// references. Blocks before the published cursor hold their maximal
+// shareable content.
 type Seq struct {
-	pool     *Pool
-	tokens   int
-	blocks   int
-	swapped  bool
-	released bool
+	pool      *Pool
+	prefix    Prefix
+	tokens    int
+	blocks    []*Block
+	published int // blocks [0, published) need no further publish scan
+	swapped   bool
+	released  bool
 }
 
-// NewSeq allocates a sequence holding tokens tokens. It returns an error
-// when the pool cannot fit it; callers treat that as admission failure.
+// NewSeq allocates a sequence holding tokens tokens of private content. It
+// returns an error when the pool cannot fit it; callers treat that as
+// admission failure.
 func (p *Pool) NewSeq(tokens int) (*Seq, error) {
 	if tokens < 0 {
 		return nil, fmt.Errorf("kvcache: NewSeq(%d)", tokens)
 	}
 	need := p.BlocksForTokens(tokens)
-	if need > p.freeBlocks {
-		return nil, fmt.Errorf("kvcache: need %d blocks, %d free", need, p.freeBlocks)
+	if need > p.AvailableBlocks() {
+		return nil, fmt.Errorf("kvcache: need %d blocks, %d free", need, p.AvailableBlocks())
 	}
-	p.freeBlocks -= need
+	s := &Seq{pool: p}
+	if err := s.fill(0, tokens); err != nil {
+		panic("kvcache: fill after fit check: " + err.Error())
+	}
+	s.tokens = tokens
 	p.seqs++
-	return &Seq{pool: p, tokens: tokens, blocks: need}, nil
+	return s, nil
 }
+
+// NewSeqCached allocates an empty sequence with the given prefix identity,
+// referencing every published block of the prefix chain already in the
+// shared index. It returns the tokens served from cache: the sequence
+// starts holding that much KV, and the caller skips that much prefill.
+func (p *Pool) NewSeqCached(pfx Prefix) (*Seq, int, error) {
+	if pfx.Tokens < 0 {
+		return nil, 0, fmt.Errorf("kvcache: NewSeqCached(%d prefix tokens)", pfx.Tokens)
+	}
+	s := &Seq{pool: p, prefix: pfx}
+	if p.sharing && pfx.Tokens > 0 {
+		p.stats.Lookups++
+		blocks, tokens := p.matchChain(pfx, pfx.Tokens)
+		if tokens > 0 {
+			p.stats.Hits++
+			p.stats.HitTokens += int64(tokens)
+		}
+		s.blocks = blocks
+		s.published = len(blocks)
+		s.tokens = tokens
+	}
+	p.seqs++
+	return s, s.tokens, nil
+}
+
+// Prefix returns the sequence's shared-prefix identity.
+func (s *Seq) Prefix() Prefix { return s.prefix }
+
+// SetPrefix attaches a shared-prefix identity to a sequence created without
+// one (migration and reconfiguration transplants allocate wholesale via
+// NewSeq, then restore identity so the content re-enters the destination
+// pool's shared index when the sequence completes). It must be called
+// before the sequence publishes or matches anything.
+func (s *Seq) SetPrefix(pfx Prefix) { s.prefix = pfx }
 
 // Tokens returns the sequence's token count (valid even while swapped).
 func (s *Seq) Tokens() int { return s.tokens }
 
-// Blocks returns GPU blocks currently held (0 while swapped out).
+// Blocks returns GPU blocks currently referenced (0 while swapped out).
 func (s *Seq) Blocks() int {
 	if s.swapped {
 		return 0
 	}
-	return s.blocks
+	return len(s.blocks)
+}
+
+// SharedBlocks returns how many of the sequence's blocks are published in
+// the shared index.
+func (s *Seq) SharedBlocks() int {
+	n := 0
+	for _, b := range s.blocks {
+		if b.hash != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Swapped reports whether the sequence lives in host memory.
 func (s *Seq) Swapped() bool { return s.swapped }
 
-// Append adds n generated tokens, allocating blocks as needed. It returns an
-// error when the pool is exhausted; the caller must then preempt per policy.
+// fill appends n tokens of content to a block chain already holding
+// `filled` tokens — copy-on-write when the tail block is shared, eviction
+// when free blocks run out — without touching s.tokens (Append and SwapIn
+// account tokens differently; both know the filled count, so decode
+// appends stay O(1) instead of re-summing the chain). The pool state is
+// unchanged when an error is returned.
+func (s *Seq) fill(filled, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	p := s.pool
+	bt := p.blockTokens
+	var tail *Block
+	if len(s.blocks) > 0 && s.blocks[len(s.blocks)-1].filled < bt {
+		tail = s.blocks[len(s.blocks)-1]
+	}
+	need := p.BlocksForTokens(filled+n) - len(s.blocks)
+	cow := 0
+	if tail != nil && tail.refs > 1 {
+		cow = 1
+	}
+	if need+cow > p.AvailableBlocks() {
+		return fmt.Errorf("kvcache: need %d more blocks, %d free", need+cow, p.AvailableBlocks())
+	}
+	if tail != nil {
+		if cow == 1 {
+			// Divergence on a shared block: copy it, keep the
+			// published original for its other holders.
+			nb := p.takeBlock()
+			nb.filled = tail.filled
+			p.unref(tail)
+			s.blocks[len(s.blocks)-1] = nb
+			tail = nb
+			p.stats.CoWCopies++
+		} else if tail.hash != 0 {
+			// Sole holder writing past the shared span: the content
+			// diverges, so the block leaves the index.
+			delete(p.index, tail.hash)
+			tail.hash = 0
+		}
+		take := bt - tail.filled
+		if take > n {
+			take = n
+		}
+		tail.filled += take
+		n -= take
+	}
+	for n > 0 {
+		nb := p.takeBlock()
+		if nb == nil {
+			panic("kvcache: pool exhausted after fit check")
+		}
+		take := bt
+		if take > n {
+			take = n
+		}
+		nb.filled = take
+		s.blocks = append(s.blocks, nb)
+		n -= take
+	}
+	s.publishShared()
+	return nil
+}
+
+// publishShared advances the publish cursor over blocks holding their
+// maximal shareable content, entering prefix-pure blocks into the shared
+// index. A block is shareable when its content lies entirely within the
+// shared prefix and is complete for its span (a full block, or the
+// boundary block filled exactly to the prefix end).
+func (s *Seq) publishShared() {
+	p := s.pool
+	if !p.sharing || s.prefix.Tokens <= 0 {
+		return
+	}
+	bt := p.blockTokens
+	for s.published < len(s.blocks) {
+		k := s.published
+		b := s.blocks[k]
+		start := k * bt
+		if start >= s.prefix.Tokens {
+			// Beyond the shared span: nothing after this publishes.
+			s.published = len(s.blocks)
+			return
+		}
+		end := start + b.filled
+		pure := end <= s.prefix.Tokens
+		maximal := b.filled == bt || end == s.prefix.Tokens
+		if pure && !maximal {
+			// Mid-prefix partial block: a later fill completes it.
+			return
+		}
+		if pure && b.hash == 0 {
+			h := chainHash(s.prefix.ID, k)
+			if p.index[h] == nil {
+				b.hash = h
+				p.index[h] = b
+				p.stats.Published++
+			}
+			// An occupied slot means another sequence published the
+			// same content first; this copy stays private.
+		}
+		s.published++
+	}
+}
+
+// Append adds n generated tokens, allocating blocks as needed (evicting
+// cached blocks first) and copying shared tail blocks on divergence. It
+// returns an error when the pool is exhausted; the caller must then preempt
+// per policy.
 func (s *Seq) Append(n int) error {
 	if s.released {
 		return fmt.Errorf("kvcache: append to released seq")
@@ -142,19 +690,17 @@ func (s *Seq) Append(n int) error {
 	if n < 0 {
 		return fmt.Errorf("kvcache: Append(%d)", n)
 	}
-	newBlocks := s.pool.BlocksForTokens(s.tokens+n) - s.blocks
-	if newBlocks > s.pool.freeBlocks {
-		return fmt.Errorf("kvcache: need %d more blocks, %d free",
-			newBlocks, s.pool.freeBlocks)
+	if err := s.fill(s.tokens, n); err != nil {
+		return err
 	}
-	s.pool.freeBlocks -= newBlocks
-	s.blocks += newBlocks
 	s.tokens += n
 	return nil
 }
 
-// SwapOut releases the GPU blocks while retaining logical token state (the
-// host DRAM copy). Swapping an already swapped sequence is an error.
+// SwapOut releases the GPU block references while retaining logical token
+// state (the host DRAM copy). Shared blocks stay live for their other
+// holders or enter the cache; private blocks free. Swapping an already
+// swapped sequence is an error.
 func (s *Seq) SwapOut() error {
 	if s.released {
 		return fmt.Errorf("kvcache: swap-out released seq")
@@ -162,12 +708,21 @@ func (s *Seq) SwapOut() error {
 	if s.swapped {
 		return fmt.Errorf("kvcache: double swap-out")
 	}
-	s.pool.freeBlocks += s.blocks
+	p := s.pool
+	for _, b := range s.blocks {
+		p.unref(b)
+	}
+	s.blocks = nil
+	s.published = 0
 	s.swapped = true
 	return nil
 }
 
-// SwapIn reacquires GPU blocks for a swapped sequence.
+// SwapIn reacquires GPU blocks for a swapped sequence, re-matching the
+// shared prefix chain first so surviving cached prefix blocks are
+// referenced rather than duplicated. The match is capped at the
+// sequence's own token count: a victim swapped out mid-prefill must not
+// come back holding chain content it never computed.
 func (s *Seq) SwapIn() error {
 	if s.released {
 		return fmt.Errorf("kvcache: swap-in released seq")
@@ -175,18 +730,27 @@ func (s *Seq) SwapIn() error {
 	if !s.swapped {
 		return fmt.Errorf("kvcache: swap-in resident seq")
 	}
-	if s.blocks > s.pool.freeBlocks {
+	p := s.pool
+	// Fit-check before claiming anything: a failed swap-in must leave the
+	// pool — including the cached list's eviction order — untouched.
+	if need, ok := p.fitWithPrefix(s.prefix, s.tokens, s.tokens); !ok {
 		return fmt.Errorf("kvcache: swap-in needs %d blocks, %d free",
-			s.blocks, s.pool.freeBlocks)
+			need, p.AvailableBlocks())
 	}
-	s.pool.freeBlocks -= s.blocks
+	blocks, cached := p.matchChain(s.prefix, s.tokens)
+	s.blocks = blocks
+	s.published = len(blocks)
+	if err := s.fill(cached, s.tokens-cached); err != nil {
+		panic("kvcache: fill after fit check: " + err.Error())
+	}
 	s.swapped = false
 	return nil
 }
 
 // MoveTo reallocates the sequence in dst, freeing it here. It models
 // migration (Llumnix) and the §4.2 KVCache exchange destination allocation;
-// the caller accounts for transfer time separately.
+// the caller accounts for transfer time separately. The prefix identity
+// travels with the sequence, so its content can publish in dst.
 func (s *Seq) MoveTo(dst *Pool) (*Seq, error) {
 	if s.released {
 		return nil, fmt.Errorf("kvcache: move released seq")
@@ -195,29 +759,99 @@ func (s *Seq) MoveTo(dst *Pool) (*Seq, error) {
 	if err != nil {
 		return nil, err
 	}
+	moved.SetPrefix(s.prefix)
 	s.Free()
 	return moved, nil
 }
 
-// Free releases the sequence's blocks. Free is idempotent.
+// Free releases the sequence's block references. Blocks published in the
+// shared index (including the boundary block, trimmed to its prefix
+// content) move to the cached list instead of the free count, so a
+// completed or preempted request's prefix survives for the next arrival.
+// Free is idempotent.
 func (s *Seq) Free() {
 	if s.released {
 		return
 	}
+	p := s.pool
 	if !s.swapped {
-		s.pool.freeBlocks += s.blocks
+		if p.sharing && s.prefix.Tokens > 0 {
+			s.publishShared()
+			s.trimPublishBoundary()
+		}
+		for _, b := range s.blocks {
+			p.unref(b)
+		}
 	}
+	s.blocks = nil
 	s.released = true
-	s.pool.seqs--
+	p.seqs--
+}
+
+// trimPublishBoundary publishes the block straddling the prefix boundary at
+// free time: the private tail being discarded, the block's prefix content
+// remains valid, so it is trimmed to the boundary and cached. (Real vLLM
+// caches only full blocks; retaining the trimmed boundary is the simulator
+// idealization that makes partial-block sharing — and thus copy-on-write —
+// expressible.)
+func (s *Seq) trimPublishBoundary() {
+	p := s.pool
+	bt := p.blockTokens
+	if s.prefix.Tokens%bt == 0 {
+		return // the boundary falls on a block edge; nothing partial
+	}
+	k := s.prefix.Tokens / bt
+	if k >= len(s.blocks) {
+		return
+	}
+	b := s.blocks[k]
+	want := s.prefix.Tokens - k*bt
+	if b.hash != 0 || b.refs != 1 || b.filled < want {
+		return // already published, shared with others, or incomplete
+	}
+	h := chainHash(s.prefix.ID, k)
+	if p.index[h] != nil {
+		return // another copy already cached
+	}
+	b.filled = want
+	b.hash = h
+	p.index[h] = b
+	p.stats.Published++
 }
 
 // CheckInvariants validates pool accounting.
 func (p *Pool) CheckInvariants() error {
-	if p.freeBlocks < 0 || p.freeBlocks > p.totalBlocks {
-		return fmt.Errorf("kvcache: free %d of total %d", p.freeBlocks, p.totalBlocks)
+	if p.freeBlocks < 0 {
+		return fmt.Errorf("kvcache: negative free blocks %d", p.freeBlocks)
+	}
+	if p.usedBlocks < 0 {
+		return fmt.Errorf("kvcache: negative used blocks %d", p.usedBlocks)
+	}
+	if p.freeBlocks+p.usedBlocks+len(p.cachedList) != p.totalBlocks {
+		return fmt.Errorf("kvcache: free %d + used %d + cached %d != total %d",
+			p.freeBlocks, p.usedBlocks, len(p.cachedList), p.totalBlocks)
 	}
 	if p.seqs < 0 {
 		return fmt.Errorf("kvcache: negative live sequences")
+	}
+	for i, b := range p.cachedList {
+		if !b.cached || b.refs != 0 {
+			return fmt.Errorf("kvcache: cached list entry %d refs=%d cached=%v", i, b.refs, b.cached)
+		}
+		if b.hash == 0 || p.index[b.hash] != b {
+			return fmt.Errorf("kvcache: cached list entry %d not indexed", i)
+		}
+		if i > 0 && p.cachedList[i-1].tick > b.tick {
+			return fmt.Errorf("kvcache: cached list out of eviction order at %d", i)
+		}
+	}
+	for h, b := range p.index {
+		if b.hash != h {
+			return fmt.Errorf("kvcache: index entry hash mismatch")
+		}
+		if b.refs == 0 && !b.cached {
+			return fmt.Errorf("kvcache: indexed block neither referenced nor cached")
+		}
 	}
 	return nil
 }

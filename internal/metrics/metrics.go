@@ -222,6 +222,13 @@ type Collector struct {
 	// untagged runs carry no per-class state at all.
 	ClassTTFT map[string]*Dist
 	ClassTPOT map[string]*Dist
+
+	// PrefillTokens counts prompt tokens committed at admission (including
+	// recompute re-prefills); CachedPrefillTokens counts the subset served
+	// from the KVCache prefix cache instead of computed. Their ratio is
+	// the run's prefix-cache hit rate.
+	PrefillTokens       int64
+	CachedPrefillTokens int64
 }
 
 // NewCollector creates a collector with the given time-series window.
@@ -267,6 +274,22 @@ func (c *Collector) ClassNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ObservePrefill records one admission's prefill commitment: total prompt
+// tokens to materialize and the part served from the prefix cache.
+func (c *Collector) ObservePrefill(cached, total int) {
+	c.PrefillTokens += int64(total)
+	c.CachedPrefillTokens += int64(cached)
+}
+
+// PrefixHitRate returns the fraction of committed prefill tokens served
+// from the prefix cache (0 with no prefill).
+func (c *Collector) PrefixHitRate() float64 {
+	if c.PrefillTokens == 0 {
+		return 0
+	}
+	return float64(c.CachedPrefillTokens) / float64(c.PrefillTokens)
 }
 
 // EmitTokens records generated tokens for throughput accounting.

@@ -443,3 +443,18 @@ func TestPropertyPercentiles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestObservePrefillHitRate(t *testing.T) {
+	c := NewCollector(sim.Second)
+	if c.PrefixHitRate() != 0 {
+		t.Fatal("hit rate without prefill")
+	}
+	c.ObservePrefill(0, 1000)
+	c.ObservePrefill(600, 1000)
+	if c.PrefillTokens != 2000 || c.CachedPrefillTokens != 600 {
+		t.Fatalf("counters = %d/%d", c.CachedPrefillTokens, c.PrefillTokens)
+	}
+	if hr := c.PrefixHitRate(); hr != 0.3 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+}

@@ -72,6 +72,13 @@ type Request struct {
 	Client string
 	Class  string
 
+	// Prefix is the shared-prompt identity for KVCache prefix sharing:
+	// the first Prefix.Tokens prompt tokens are identical across every
+	// request carrying the same Prefix.ID. Zero for unshared requests.
+	// Tokens an admission serves from the cache are folded into
+	// PrefilledTokens; the collector tracks the run-wide hit accounting.
+	Prefix kvcache.Prefix
+
 	state State
 
 	// PrefilledTokens counts prompt tokens whose KV has been computed in

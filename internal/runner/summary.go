@@ -49,6 +49,13 @@ type Summary struct {
 	// workloads, so untagged runs marshal identically to before.
 	PerClass []ClassSummary `json:",omitempty"`
 
+	// PrefixCache reports the content-addressed KVCache's sharing
+	// activity: hit rate, prefill compute saved, cached/pinned block
+	// gauges, copy-on-write copies, and evictions. Nil (and absent from
+	// JSON) unless the run enabled prefix caching, so default runs
+	// marshal identically to before.
+	PrefixCache *PrefixCacheSummary `json:",omitempty"`
+
 	// Reconfiguration log (KunServe policies only; zero otherwise).
 	Drops    int
 	Restores int
@@ -60,6 +67,38 @@ type Summary struct {
 	TTFTs   []float64 `json:"-"`
 	TPOTs   []float64 `json:"-"`
 	Outputs []int     `json:"-"`
+}
+
+// PrefixCacheSummary is the run-level scrape of the paged KVCache's prefix
+// sharing (cluster.KVCacheReport flattened for JSON consumers).
+type PrefixCacheSummary struct {
+	// HitRate is the fraction of committed prefill tokens served from the
+	// cache; PrefillTokens the total commitment and PrefillTokensSaved
+	// the cached subset (the prefill compute the run skipped).
+	HitRate            float64
+	PrefillTokens      int64
+	PrefillTokensSaved int64
+
+	// Lookups/Hits count admission-time chain matches attempted and
+	// succeeded; CoWCopies counts copy-on-write block copies.
+	Lookups   int64
+	Hits      int64
+	CoWCopies int64
+
+	// Evictions counts cached blocks reclaimed under allocation pressure,
+	// ShrinkEvictions those evicted by pool shrinks (restores), and
+	// ReconfigEvicted those destroyed with pools a reconfiguration
+	// dissolved.
+	Evictions       int64
+	ShrinkEvictions int64
+	ReconfigEvicted int
+
+	// CachedBlocks/SharedBlocks are end-of-run gauges (freed-but-cached
+	// and referenced published blocks); Peak* their sampled maxima.
+	CachedBlocks     int
+	SharedBlocks     int
+	PeakCachedBlocks int
+	PeakSharedBlocks int
 }
 
 // ClassSummary is one SLO class's slice of a run: latency percentiles,
@@ -179,6 +218,24 @@ func Summarize(cl *cluster.Cluster) Summary {
 	// token throughput are comparable rates.
 	span := float64(col.Tokens.Bins()) * col.Tokens.Window().Seconds()
 	s.PerClass = classBreakdown(col, cl.SLOClasses, span)
+	if cl.PrefixCaching {
+		r := cl.KVCacheReport()
+		s.PrefixCache = &PrefixCacheSummary{
+			HitRate:            r.HitRate,
+			PrefillTokens:      r.PrefillTokens,
+			PrefillTokensSaved: r.CachedPrefillTokens,
+			Lookups:            r.Lookups,
+			Hits:               r.Hits,
+			CoWCopies:          r.CoWCopies,
+			Evictions:          r.Evictions,
+			ShrinkEvictions:    r.ShrinkEvictions,
+			ReconfigEvicted:    r.ReconfigEvicted,
+			CachedBlocks:       r.CachedBlocks,
+			SharedBlocks:       r.SharedBlocks,
+			PeakCachedBlocks:   r.PeakCachedBlocks,
+			PeakSharedBlocks:   r.PeakSharedBlocks,
+		}
+	}
 	if ks, ok := cl.Policy.(*core.Policy); ok {
 		s.Drops = ks.Drops()
 		s.Restores = ks.Restores()

@@ -22,7 +22,10 @@
 //
 // Supported arrival processes: poisson, gamma (cv), weibull (shape),
 // diurnal (amplitude, period_s, phase_rad), mmpp (states), and the paper's
-// burst / longrun piecewise schedules. Uses only the standard library.
+// burst / longrun piecewise schedules. A client may declare a shared_prefix
+// token count: every request of that client then starts with the same
+// system prompt, which the paged KVCache deduplicates when prefix caching
+// is enabled. Uses only the standard library.
 package spec
 
 import (
@@ -77,6 +80,13 @@ type Client struct {
 	Output *Length `json:"output,omitempty"`
 	// SLOClass tags requests with a service class (e.g. "strict", "batch").
 	SLOClass string `json:"slo_class,omitempty"`
+	// SharedPrefix declares that the first SharedPrefix tokens of every
+	// request's prompt are identical across this client (a system prompt
+	// or agent scaffold). The paged KVCache's prefix sharing keys on it;
+	// requests whose sampled prompt is not longer than the prefix carry a
+	// clamped per-request value (at least one private token remains, since
+	// real engines always compute the final prompt token for its logits).
+	SharedPrefix int `json:"shared_prefix,omitempty"`
 	// TraceFile replays a recorded CSV trace instead of generating
 	// arrivals; Arrival/Dataset/Input/Output are ignored. Relative paths
 	// resolve against the spec file's directory. Replayed arrivals past
@@ -223,6 +233,9 @@ func (s *Spec) Validate() error {
 		if name == "" {
 			return fmt.Errorf("spec: client %d has no name", i)
 		}
+		if c.SharedPrefix < 0 {
+			return fmt.Errorf("spec: client %q: negative shared_prefix", name)
+		}
 		if c.TraceFile != "" {
 			if c.Upscale < 0 {
 				return fmt.Errorf("spec: client %q: negative upscale", name)
@@ -343,6 +356,16 @@ func (s *Spec) Compile() (*workload.Trace, error) {
 		for j := range tr.Requests {
 			tr.Requests[j].Client = c.Name
 			tr.Requests[j].Class = c.SLOClass
+			if c.SharedPrefix > 0 {
+				// Clamp per request so at least one prompt token stays
+				// private: requests of the same client still share
+				// their common full blocks whatever their lengths.
+				sp := c.SharedPrefix
+				if sp >= tr.Requests[j].InputLen {
+					sp = tr.Requests[j].InputLen - 1
+				}
+				tr.Requests[j].SharedPrefix = sp
+			}
 		}
 		parts = append(parts, tr)
 	}

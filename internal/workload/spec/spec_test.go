@@ -377,3 +377,99 @@ func TestScheduleProcessesInSpec(t *testing.T) {
 		t.Errorf("burst ratio = %.2f, want ~2.1", ratio)
 	}
 }
+
+func TestSharedPrefixCompileAndClamp(t *testing.T) {
+	js := `{
+	  "name": "sp", "seed": 7, "duration_s": 20, "total_rps": 4,
+	  "clients": [
+	    {"name": "agent", "rate_fraction": 1, "shared_prefix": 500,
+	     "arrival": {"process": "poisson"},
+	     "input": {"mean": 520, "sigma": 0.6, "min": 64, "max": 2048},
+	     "output": {"mean": 64, "sigma": 0.5, "min": 4, "max": 256}}
+	  ]
+	}`
+	s, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty trace")
+	}
+	sawClamped, sawFull := false, false
+	for _, r := range tr.Requests {
+		if r.SharedPrefix <= 0 {
+			t.Fatalf("request %d lost its shared prefix", r.ID)
+		}
+		if r.SharedPrefix >= r.InputLen {
+			t.Fatalf("request %d: shared %d >= input %d (no private token left)",
+				r.ID, r.SharedPrefix, r.InputLen)
+		}
+		if r.SharedPrefix < 500 {
+			sawClamped = true
+		}
+		if r.SharedPrefix == 500 {
+			sawFull = true
+		}
+	}
+	// Min input 64 < shared 500 < mean 520: both cases must occur.
+	if !sawClamped || !sawFull {
+		t.Fatalf("clamp coverage: clamped=%v full=%v", sawClamped, sawFull)
+	}
+}
+
+func TestSharedPrefixValidation(t *testing.T) {
+	js := `{
+	  "name": "bad", "seed": 1, "duration_s": 10, "total_rps": 1,
+	  "clients": [
+	    {"name": "c", "rate_fraction": 1, "shared_prefix": -5,
+	     "arrival": {"process": "poisson"}, "dataset": "burstgpt"}
+	  ]
+	}`
+	if _, err := Parse(strings.NewReader(js)); err == nil {
+		t.Fatal("negative shared_prefix accepted")
+	}
+}
+
+func TestSharedPrefixCSVRoundTrip(t *testing.T) {
+	js := `{
+	  "name": "sp", "seed": 7, "duration_s": 10, "total_rps": 4,
+	  "clients": [
+	    {"name": "agent", "rate_fraction": 1, "shared_prefix": 200,
+	     "arrival": {"process": "poisson"},
+	     "input": {"mean": 600, "sigma": 0.4, "min": 256, "max": 2048},
+	     "output": {"mean": 64, "sigma": 0.5, "min": 4, "max": 256}}
+	  ]
+	}`
+	s, err := Parse(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "shared_prefix") {
+		t.Fatalf("header missing shared_prefix: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	back, err := workload.ReadCSV("sp", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(tr.Requests) {
+		t.Fatal("length mismatch")
+	}
+	for i := range back.Requests {
+		if back.Requests[i].SharedPrefix != tr.Requests[i].SharedPrefix ||
+			back.Requests[i].Client != tr.Requests[i].Client {
+			t.Fatalf("row %d: %+v vs %+v", i, back.Requests[i], tr.Requests[i])
+		}
+	}
+}

@@ -28,14 +28,18 @@ import (
 // Request is one trace entry: a prompt of InputLen tokens arriving at
 // Arrival that will generate OutputLen tokens. Client and Class are set for
 // spec-generated multi-client traces (empty otherwise): Client names the
-// originating spec client, Class its SLO class.
+// originating spec client, Class its SLO class. SharedPrefix marks the
+// first SharedPrefix prompt tokens as identical across every request with
+// the same Client (a per-client system prompt); the paged KVCache's prefix
+// sharing keys on it.
 type Request struct {
-	ID        int
-	Arrival   sim.Time
-	InputLen  int
-	OutputLen int
-	Client    string
-	Class     string
+	ID           int
+	Arrival      sim.Time
+	InputLen     int
+	OutputLen    int
+	Client       string
+	Class        string
+	SharedPrefix int
 }
 
 // Trace is a time-ordered request sequence.
@@ -344,20 +348,26 @@ func (t *Trace) MeanLens() (in, out float64) {
 
 // WriteCSV serializes the trace as "id,arrival_s,input,output". Traces
 // carrying client or SLO-class tags (spec-compiled mixes) get two extra
-// columns, "client" and "slo_class"; untagged traces keep the legacy
-// four-column format so existing consumers are unaffected.
+// columns, "client" and "slo_class", and traces with shared-prefix marks a
+// seventh, "shared_prefix"; untagged traces keep the legacy four-column
+// format so existing consumers are unaffected.
 func (t *Trace) WriteCSV(w io.Writer) error {
-	tagged := false
+	tagged, prefixed := false, false
 	for _, r := range t.Requests {
 		if r.Client != "" || r.Class != "" {
 			tagged = true
-			break
+		}
+		if r.SharedPrefix > 0 {
+			tagged, prefixed = true, true
 		}
 	}
 	cw := csv.NewWriter(w)
 	header := []string{"id", "arrival_s", "input_tokens", "output_tokens"}
 	if tagged {
 		header = append(header, "client", "slo_class")
+	}
+	if prefixed {
+		header = append(header, "shared_prefix")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -372,6 +382,9 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		if tagged {
 			rec = append(rec, r.Client, r.Class)
 		}
+		if prefixed {
+			rec = append(rec, strconv.Itoa(r.SharedPrefix))
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -380,8 +393,9 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace written by WriteCSV, accepting both the legacy
-// four-column and the tagged six-column layout.
+// ReadCSV parses a trace written by WriteCSV, accepting the legacy
+// four-column, the tagged six-column, and the shared-prefix seven-column
+// layouts.
 func ReadCSV(name string, r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -392,8 +406,8 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("workload: empty CSV")
 	}
 	cols := len(rows[0])
-	if cols != 4 && cols != 6 {
-		return nil, fmt.Errorf("workload: header has %d fields, want 4 or 6", cols)
+	if cols != 4 && cols != 6 && cols != 7 {
+		return nil, fmt.Errorf("workload: header has %d fields, want 4, 6 or 7", cols)
 	}
 	tr := &Trace{Name: name}
 	for i, row := range rows[1:] {
@@ -412,8 +426,15 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 		req := Request{
 			ID: id, Arrival: sim.FromSeconds(at), InputLen: in, OutputLen: out,
 		}
-		if cols == 6 {
+		if cols >= 6 {
 			req.Client, req.Class = row[4], row[5]
+		}
+		if cols == 7 {
+			sp, err := strconv.Atoi(row[6])
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d: %v", i+1, err)
+			}
+			req.SharedPrefix = sp
 		}
 		tr.Requests = append(tr.Requests, req)
 	}
