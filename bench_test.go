@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"kunserve/internal/baselines"
 	"kunserve/internal/batching"
+	"kunserve/internal/cluster"
 	"kunserve/internal/core/lookahead"
 	"kunserve/internal/core/planner"
 	"kunserve/internal/costmodel"
@@ -24,6 +26,7 @@ import (
 	"kunserve/internal/network"
 	"kunserve/internal/request"
 	"kunserve/internal/sim"
+	"kunserve/internal/workload"
 )
 
 // --- Table / figure regeneration benches -------------------------------
@@ -297,6 +300,61 @@ func BenchmarkExperimentPrefix(b *testing.B) {
 	off, lru := r.Row(1, "off"), r.Row(1, "lru")
 	b.ReportMetric(lru.HitRate*100, "hit-%")
 	b.ReportMetric(off.MeanTTFT/lru.MeanTTFT, "ttft-speedup-x")
+}
+
+// --- Execution-engine / disaggregation benches ---------------------------
+//
+// BENCH_disagg.json records the committed baseline of these numbers (plus
+// the Figure 2 wall time above) so later PRs have a trajectory.
+
+// BenchmarkEngineRoundThroughput measures the role-aware execution
+// engine's scheduling-round rate on the default collocated path: one
+// single-instance group serving a steady trace, reported as completed
+// rounds per wall-clock second.
+func BenchmarkEngineRoundThroughput(b *testing.B) {
+	tr := workload.Generate(1, 16*sim.Second, workload.SteadySchedule(4), workload.BurstGPTDataset())
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := cluster.New(cluster.Config{
+			Seed:      1,
+			Model:     model.Qwen25_14B(),
+			GPU:       gpu.A800(),
+			Instances: 1,
+			Policy:    baselines.VLLMDP{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.Serve(tr, sim.FromSeconds(120))
+		for _, g := range cl.Groups() {
+			rounds += g.RoundsRun()
+		}
+	}
+	if rounds == 0 {
+		b.Fatal("no rounds ran")
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+// BenchmarkExperimentDisagg regenerates the -exp disagg grid at quick
+// scale and reports the balanced split's standing at the overload point.
+func BenchmarkExperimentDisagg(b *testing.B) {
+	var r *experiments.DisaggResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.ExperimentDisagg(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hi := experiments.DisaggLoadPoints[len(experiments.DisaggLoadPoints)-1]
+	balanced := r.Row("Disagg (2P:2D)", hi)
+	dp := r.Row("vLLM (DP)", hi)
+	b.ReportMetric(balanced.TPOTP99*1000, "balanced-p99tpot-ms")
+	b.ReportMetric(dp.TPOTP99*1000, "vllm-p99tpot-ms")
+	b.ReportMetric(float64(balanced.Handoffs), "handoffs")
+	b.ReportMetric(balanced.TransferP99*1000, "p99-xfer-ms")
 }
 
 // --- Design-choice micro-benches ----------------------------------------

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|slo|prefix|all \
+//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|slo|prefix|disagg|all \
 //	    [-scale quick|full|clusterb] [-dataset burstgpt|sharegpt|longbench] \
 //	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT] \
-//	    [-parallel N] [-json] [-sweep key=lo:hi:step] [-spec workload.json] \
-//	    [-router least-loaded|round-robin|p2c|least-kv|affinity] \
+//	    [-parallel N] [-json] [-list-exps] [-sweep key=lo:hi:step] [-spec workload.json] \
+//	    [-router least-loaded|round-robin|p2c|least-kv|affinity|queue-depth] \
 //	    [-queue fcfs|priority|edf] [-prefix-caching] [-cache-evict lru|fifo]
 //
 // -parallel bounds the worker pool the experiment run matrices execute on
@@ -30,8 +30,12 @@
 // (disciplines x systems on a two-class workload, per-class attainment and
 // goodput); -exp prefix sweeps share ratio x cache policy on a
 // shared-prefix workload (the -spec file when given, else a built-in
-// agentic mix). Neither is part of "all" so that "all" output stays
-// comparable across versions.
+// agentic mix); -exp disagg sweeps prefill:decode pool splits x load
+// against the collocated vLLM (DP) and KunServe references, reporting
+// stage-level queueing (prefill wait, KV transfer, decode wait). None of
+// the three is part of "all" so that "all" output stays comparable across
+// versions. -list-exps prints each experiment with its description and
+// exits.
 package main
 
 import (
@@ -50,9 +54,34 @@ import (
 	"kunserve/internal/workload/spec"
 )
 
-// validExps lists every -exp value. "all" runs the paper figures; the slo
-// experiment is standalone so "all" output stays stable across versions.
-var validExps = []string{"table1", "fig2", "fig5", "fig12", "fig13", "fig12+13", "fig14", "fig15", "fig16", "fig17", "slo", "prefix", "all"}
+// expList pairs every -exp value with a one-line description (printed by
+// -list-exps). "all" runs the paper figures; the slo, prefix, and disagg
+// experiments are standalone so "all" output stays stable across versions.
+var expList = []struct{ name, desc string }{
+	{"table1", "Table 1: parameter memory vs HBM across the model zoo"},
+	{"fig2", "Figure 2: TTFT spikes under the BurstGPT burst for drop/swap/migrate"},
+	{"fig5", "Figure 5: latency vs static parameter-drop degree (pipeline depth)"},
+	{"fig12", "Figure 12: memory/mean-TTFT/throughput timelines across the five systems"},
+	{"fig13", "Figure 13: latency percentiles and SLO-violation ratios"},
+	{"fig12+13", "Figures 12 and 13 off one shared five-system run set"},
+	{"fig14", "Figure 14: ablation rungs (+Dynamic drop, +Coordinated ex., +Lookahead)"},
+	{"fig15", "Figure 15: cost-model accuracy vs the attention-blind fit"},
+	{"fig16", "Figure 16: long run with parameter restoration across waves"},
+	{"fig17", "Figure 17: extreme replayed burst until both systems drown"},
+	{"slo", "multi-tenant SLO attainment: queue disciplines x systems, per-class goodput"},
+	{"prefix", "prefix caching: share ratio x eviction policy on a shared-prompt mix"},
+	{"disagg", "prefill/decode disaggregation: pool splits x load vs collocated baselines"},
+	{"all", "every paper figure (table1 fig2 fig5 fig12+13 fig14 fig15 fig16 fig17)"},
+}
+
+// validExps lists every -exp value, derived from expList.
+var validExps = func() []string {
+	out := make([]string, len(expList))
+	for i, e := range expList {
+		out[i] = e.name
+	}
+	return out
+}()
 
 func main() {
 	var (
@@ -71,8 +100,16 @@ func main() {
 		queue     = flag.String("queue", "", "wait-queue discipline: "+strings.Join(sched.DisciplineNames, ", ")+" (default fcfs)")
 		prefixOn  = flag.Bool("prefix-caching", false, "enable content-addressed KVCache prefix sharing (default off; off reproduces the identity-free allocator byte-for-byte)")
 		evict     = flag.String("cache-evict", "", "cached-block eviction policy: lru (default), fifo; only meaningful with -prefix-caching")
+		listExps  = flag.Bool("list-exps", false, "print every experiment name with a one-line description and exit")
 	)
 	flag.Parse()
+
+	if *listExps {
+		for _, e := range expList {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
 
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown -exp %q (valid: %s)\n", *exp, strings.Join(validExps, ", "))
@@ -125,6 +162,9 @@ func main() {
 	if *exp == "prefix" && (*prefixOn || *evict != "") {
 		fmt.Fprintln(os.Stderr, "note: -exp prefix compares every cache policy (off, lru, fifo); -prefix-caching/-cache-evict are ignored there")
 	}
+	if *exp == "disagg" && *router != "" {
+		fmt.Fprintln(os.Stderr, "note: -exp disagg routes its disaggregated cells with the queue-depth router; -router applies to the collocated baseline cells only")
+	}
 	if *specFile != "" {
 		// The spec's own seed, duration, and rates govern the trace;
 		// -seed still seeds the cluster and -load still scales KV
@@ -144,6 +184,8 @@ func main() {
 		switch *exp {
 		case "fig16", "table1", "all":
 			fmt.Fprintln(os.Stderr, "note: fig16 and table1 build their own workloads and ignore -spec")
+		case "disagg":
+			fmt.Fprintln(os.Stderr, "note: -exp disagg sweeps load multipliers over the derived burst trace and ignores -spec")
 		}
 	}
 
@@ -277,6 +319,12 @@ func runExp(name string, cfg experiments.Config) ([]artifact, error) {
 			return nil, err
 		}
 		return one("prefix", r, func(w io.Writer) { experiments.PrintExperimentPrefix(w, r) }), nil
+	case "disagg":
+		r, err := experiments.ExperimentDisagg(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("disagg", r, func(w io.Writer) { experiments.PrintExperimentDisagg(w, r) }), nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -247,7 +247,7 @@ func (c *Cluster) NewGroup(instanceIDs []int) (*Group, error) {
 func (c *Cluster) Groups() []*Group {
 	out := make([]*Group, 0, len(c.groups))
 	for _, g := range c.groups {
-		if !g.closed {
+		if !g.Closed() {
 			out = append(out, g)
 		}
 	}
@@ -257,7 +257,7 @@ func (c *Cluster) Groups() []*Group {
 // GroupByID finds a live group.
 func (c *Cluster) GroupByID(id int) *Group {
 	for _, g := range c.groups {
-		if g.ID == id && !g.closed {
+		if g.ID == id && !g.Closed() {
 			return g
 		}
 	}
@@ -287,19 +287,23 @@ func (c *Cluster) Router() sched.Router { return c.router }
 
 // Dispatch routes a request to a live group through the cluster's router
 // (least-loaded by default: the Llumnix-style load-balancing dispatcher
-// every system shares, §3). It returns an error instead of crashing when
-// no live group exists; Serve aggregates such errors into Err.
+// every system shares, §3). Only groups whose role admits new arrivals
+// are candidates: in a disaggregated deployment decode groups receive
+// work via KV handoff, never from the dispatcher. It returns an error
+// instead of crashing when no live candidate exists; Serve aggregates
+// such errors into Err.
 func (c *Cluster) Dispatch(r *request.Request) error {
 	cands := c.routeCands[:0]
 	targets := c.routeTargets[:0]
 	for _, g := range c.groups {
-		if g.closed {
+		if g.Closed() || !g.Role().AdmitsNewArrivals() {
 			continue
 		}
 		cands = append(cands, sched.Candidate{
 			ID:             g.ID,
 			DemandTokens:   g.DemandTokens(),
 			CapacityTokens: g.CapacityTokens(),
+			QueueLen:       g.QueueLen(),
 		})
 		targets = append(targets, g)
 	}
@@ -344,7 +348,7 @@ func (c *Cluster) Err() error {
 func (c *Cluster) DemandBytes() int64 {
 	var tokens int64
 	for _, g := range c.groups {
-		if !g.closed {
+		if !g.Closed() {
 			tokens += int64(g.DemandTokens())
 		}
 	}
@@ -355,7 +359,7 @@ func (c *Cluster) DemandBytes() int64 {
 func (c *Cluster) CapacityBytes() int64 {
 	var tokens int64
 	for _, g := range c.groups {
-		if !g.closed {
+		if !g.Closed() {
 			tokens += int64(g.CapacityTokens())
 		}
 	}
@@ -366,7 +370,7 @@ func (c *Cluster) CapacityBytes() int64 {
 func (c *Cluster) UsedBytes() int64 {
 	var tokens int64
 	for _, g := range c.groups {
-		if !g.closed {
+		if !g.Closed() {
 			tokens += int64(g.UsedTokens())
 		}
 	}
@@ -378,7 +382,7 @@ func (c *Cluster) monitorTick() {
 	if c.PrefixCaching {
 		cached, shared := 0, 0
 		for _, g := range c.groups {
-			if !g.closed {
+			if !g.Closed() {
 				cached += g.pool.CachedBlocks()
 				shared += g.pool.SharedBlocks()
 			}
@@ -394,7 +398,7 @@ func (c *Cluster) monitorTick() {
 	// Nudge idle groups: asynchronous memory relief (swap completions,
 	// migrations) does not always have a wake edge.
 	for _, g := range c.groups {
-		if !g.closed {
+		if !g.Closed() {
 			g.Wake()
 		}
 	}
@@ -469,12 +473,12 @@ func TransplantRequests(dst *Group, running, waiting []*request.Request, stalled
 		r.Seq = seq
 		dst.AdoptRunning(r)
 		if s, ok := stalled[r.ID]; ok && s != nil {
-			dst.stalled[r.ID] = r
+			dst.exec.RestoreStalled(r)
 		}
 	}
 	for _, r := range waiting {
 		r.GroupID = dst.ID
-		dst.queue.Push(r)
+		dst.Queue().Push(r)
 	}
 }
 
@@ -509,7 +513,7 @@ type KVCacheReport struct {
 func (c *Cluster) KVCacheReport() KVCacheReport {
 	var r KVCacheReport
 	for _, g := range c.groups {
-		if g.closed {
+		if g.Closed() {
 			continue
 		}
 		r.Stats.Add(g.pool.Stats())

@@ -141,7 +141,7 @@ func TestDispatchBalancesGroups(t *testing.T) {
 	tr := smallTrace(8, 0.01, 2048, 32)
 	c.Serve(tr, sim.FromSeconds(120))
 	g0, g1 := c.Groups()[0], c.Groups()[1]
-	r0, r1 := g0.roundsRun, g1.roundsRun
+	r0, r1 := g0.RoundsRun(), g1.RoundsRun()
 	if r0 == 0 || r1 == 0 {
 		t.Errorf("load not balanced: rounds %d vs %d", r0, r1)
 	}

@@ -2,16 +2,14 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"kunserve/internal/batching"
+	"kunserve/internal/cluster/engine"
 	"kunserve/internal/instance"
 	"kunserve/internal/kvcache"
-	"kunserve/internal/metrics"
 	"kunserve/internal/pipeline"
 	"kunserve/internal/request"
 	"kunserve/internal/sched"
-	"kunserve/internal/sim"
 )
 
 // Group is the unit of execution: one or more instances that together hold
@@ -19,35 +17,21 @@ import (
 // multi-instance group (after a parameter drop, or the static PP baseline)
 // executes with pipeline parallelism.
 //
-// The group runs scheduling rounds: admit waiting requests in the wait
-// queue discipline's order (FCFS by default; see internal/sched), form one
-// iteration batch with chunked prefill, reserve KVCache for the new tokens
-// (invoking the policy under memory pressure), execute — directly or
-// pipelined — then apply token-level bookkeeping and start the next round.
+// Scheduling rounds — admission in the wait-queue discipline's order,
+// iteration forming with chunked prefill, KVCache reservation (invoking
+// the policy under memory pressure), execution, token bookkeeping — are
+// run by the group's role-aware execution engine (internal/cluster/
+// engine). The group's Role selects which stages run: Collocated (the
+// default) serves the full lifecycle, Prefill serves prompts and hands
+// completed prefills off, Decode serves generation over handed-off KV.
 type Group struct {
 	ID int
 
 	cl        *Cluster
 	instances []*instance.Instance
-	engine    *pipeline.Engine
+	pipe      *pipeline.Engine
 	pool      *kvcache.Pool
-
-	queue   sched.Discipline
-	running []*request.Request
-	stalled map[int]*request.Request
-
-	executing  bool
-	scheduling bool // guards re-entrant startRound from policy callbacks
-	draining   bool
-	onDrained  func()
-	closed     bool
-
-	// lockedRound guards requests whose KV was already reserved this
-	// round against being chosen as preemption victims mid-round.
-	lockedRound map[int]bool
-
-	// roundsRun counts completed scheduling rounds (diagnostics only).
-	roundsRun int
+	exec      *engine.Engine
 }
 
 // newGroup wires a group over instances that must already hold the layer
@@ -70,12 +54,9 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 			totalLayers, m.Layers)
 	}
 	g := &Group{
-		ID:          id,
-		cl:          cl,
-		instances:   insts,
-		queue:       cl.newDiscipline(),
-		stalled:     make(map[int]*request.Request),
-		lockedRound: make(map[int]bool),
+		ID:        id,
+		cl:        cl,
+		instances: insts,
 	}
 	// Token capacity is bounded by the tightest stage: each stage holds
 	// its layers' share of every token's KV.
@@ -99,7 +80,34 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 			Egress:     cl.Fabric.Egress(in.ID),
 		}
 	}
-	g.engine = pipeline.New(cl.Sim, stages, int64(m.HiddenDim)*m.BytesPerParam)
+	g.pipe = pipeline.New(cl.Sim, stages, int64(m.HiddenDim)*m.BytesPerParam)
+	g.exec = engine.New(engine.Options{
+		GroupID:       id,
+		Sim:           cl.Sim,
+		Pool:          g.pool,
+		Pipeline:      g.pipe,
+		Queue:         cl.newDiscipline(),
+		Collector:     cl.Collector,
+		Budget:        cl.Budget,
+		Depth:         len(insts),
+		PrefixCaching: cl.PrefixCaching,
+		RetryDelay:    cl.retryRoundDelay,
+		Callbacks: engine.Callbacks{
+			BeforeAdmit:    func() { cl.Policy.BeforeAdmit(g) },
+			HandlePressure: func(need int) bool { return cl.Policy.HandlePressure(g, need) },
+			Form: func(items []batching.Item, stages int) [][]batching.Item {
+				return cl.Policy.Former().Form(items, stages)
+			},
+			Finished: cl.requestFinished,
+			Handoff: func(r *request.Request) bool {
+				pf, ok := cl.Policy.(PrefillFinisher)
+				if !ok {
+					return false
+				}
+				return pf.HandoffPrefill(g, r)
+			},
+		},
+	})
 	return g, nil
 }
 
@@ -109,24 +117,36 @@ func (g *Group) Cluster() *Cluster { return g.cl }
 // Instances returns the member instances in stage order.
 func (g *Group) Instances() []*instance.Instance { return g.instances }
 
+// Role returns the group's execution role (Collocated unless the policy
+// reassigned it during Setup).
+func (g *Group) Role() engine.Role { return g.exec.Role() }
+
+// SetRole assigns the group's execution role. It must be called during
+// policy Setup, before any request reaches the group, and a Prefill role
+// requires the cluster's policy to implement PrefillFinisher (something
+// has to take the completed prefills).
+func (g *Group) SetRole(role engine.Role) error {
+	if role == engine.RolePrefill {
+		if _, ok := g.cl.Policy.(PrefillFinisher); !ok {
+			return fmt.Errorf("cluster: policy %s cannot serve a prefill-role group (no PrefillFinisher)",
+				g.cl.Policy.Name())
+		}
+	}
+	return g.exec.SetRole(role)
+}
+
 // Running returns a copy of the running set (policies iterate it while
 // mutating group state).
-func (g *Group) Running() []*request.Request {
-	out := make([]*request.Request, len(g.running))
-	copy(out, g.running)
-	return out
-}
+func (g *Group) Running() []*request.Request { return g.exec.Running() }
 
 // WaitingRequests returns a copy of the wait queue in dispatch order.
-func (g *Group) WaitingRequests() []*request.Request {
-	return g.queue.Items()
-}
+func (g *Group) WaitingRequests() []*request.Request { return g.exec.Queue().Items() }
 
 // Queue returns the group's wait-queue discipline.
-func (g *Group) Queue() sched.Discipline { return g.queue }
+func (g *Group) Queue() sched.Discipline { return g.exec.Queue() }
 
 // IsStalled reports whether a request is currently stalled in this group.
-func (g *Group) IsStalled(r *request.Request) bool { return g.stalled[r.ID] != nil }
+func (g *Group) IsStalled(r *request.Request) bool { return g.exec.IsStalled(r) }
 
 // Stages returns the pipeline depth (1 = plain execution).
 func (g *Group) Stages() int { return len(g.instances) }
@@ -134,118 +154,68 @@ func (g *Group) Stages() int { return len(g.instances) }
 // Pool returns the group's KV block pool.
 func (g *Group) Pool() *kvcache.Pool { return g.pool }
 
-// Engine exposes the pipeline engine (bubble metrics).
-func (g *Group) Engine() *pipeline.Engine { return g.engine }
+// Engine exposes the pipeline engine (bubble metrics). The role-aware
+// execution engine itself stays private: every legal mutation of it goes
+// through Group methods (SetRole in particular validates that a prefill
+// role has a policy to hand completed prefills to).
+func (g *Group) Engine() *pipeline.Engine { return g.pipe }
 
 // Closed reports whether the group has been dissolved.
-func (g *Group) Closed() bool { return g.closed }
+func (g *Group) Closed() bool { return g.exec.Closed() }
 
 // Executing reports whether a round is in flight.
-func (g *Group) Executing() bool { return g.executing }
+func (g *Group) Executing() bool { return g.exec.Executing() }
 
 // QueueLen returns the number of waiting requests.
-func (g *Group) QueueLen() int { return g.queue.Len() }
+func (g *Group) QueueLen() int { return g.exec.QueueLen() }
 
 // RunningLen returns the number of admitted requests.
-func (g *Group) RunningLen() int { return len(g.running) }
+func (g *Group) RunningLen() int { return g.exec.RunningLen() }
+
+// RoundsRun returns completed scheduling rounds (diagnostics only).
+func (g *Group) RoundsRun() int { return g.exec.RoundsRun() }
 
 // Enqueue adds a request to the wait queue under the group's discipline.
-func (g *Group) Enqueue(r *request.Request) {
-	r.GroupID = g.ID
-	g.queue.Push(r)
-	g.Wake()
-}
-
-// enqueueFront re-queues a preempted request ahead of new arrivals (FCFS
-// places it literally first; ordered disciplines fold it into their order).
-func (g *Group) enqueueFront(r *request.Request) {
-	r.GroupID = g.ID
-	g.queue.PushFront(r)
-}
+func (g *Group) Enqueue(r *request.Request) { g.exec.Enqueue(r) }
 
 // Wake starts a scheduling round if the group is idle.
-func (g *Group) Wake() {
-	if g.executing || g.closed || g.draining {
-		return
-	}
-	g.startRound()
-}
+func (g *Group) Wake() { g.exec.Wake() }
 
-// Stall excludes a running request from scheduling (swap, migration, or
-// KVCache exchange in flight) after moving it to the given state.
-func (g *Group) Stall(r *request.Request, st request.State) {
-	r.SetState(st)
-	g.stalled[r.ID] = r
-}
+// Stall excludes a running request from scheduling (swap, migration,
+// handoff, or KVCache exchange in flight) after moving it to the given
+// state.
+func (g *Group) Stall(r *request.Request, st request.State) { g.exec.Stall(r, st) }
 
 // Unstall resumes a stalled request.
-func (g *Group) Unstall(r *request.Request) {
-	if _, ok := g.stalled[r.ID]; !ok {
-		panic(fmt.Sprintf("cluster: unstall of non-stalled request %d", r.ID))
-	}
-	delete(g.stalled, r.ID)
-	r.SetState(request.StateRunning)
-	g.Wake()
-}
+func (g *Group) Unstall(r *request.Request) { g.exec.Unstall(r) }
 
 // StalledCount returns how many running requests are stalled.
-func (g *Group) StalledCount() int { return len(g.stalled) }
+func (g *Group) StalledCount() int { return g.exec.StalledCount() }
+
+// MarkDecodeReady stamps a handed-off request as decode-ready so its
+// first decode advance reports the decode-queue stage wait.
+func (g *Group) MarkDecodeReady(r *request.Request) { g.exec.MarkDecodeReady(r) }
 
 // Victim returns the youngest running, unstalled request whose KV was not
 // reserved in the current round — the standard preemption victim — or nil.
-func (g *Group) Victim() *request.Request {
-	var v *request.Request
-	for _, r := range g.running {
-		if g.lockedRound[r.ID] || g.stalled[r.ID] != nil || r.Done() {
-			continue
-		}
-		if v == nil || r.Arrival > v.Arrival {
-			v = r
-		}
-	}
-	return v
-}
+func (g *Group) Victim() *request.Request { return g.exec.Victim() }
 
 // PreemptRecompute drops a running request's KVCache and re-queues it for
-// recomputation (the vLLM default and everyone's last resort). Under
-// prefix caching the drop is not a void: the victim's shared-prefix blocks
-// land on the pool's cached list, so its re-admission — and every other
-// request with the same prefix — skips that part of the re-prefill unless
-// pressure evicted the blocks in between.
-func (g *Group) PreemptRecompute(r *request.Request) {
-	g.removeRunning(r)
-	if r.Seq != nil {
-		r.Seq.Free()
-	}
-	r.SetState(request.StatePreempted)
-	r.ResetForRecompute()
-	r.SetState(request.StateQueued)
-	g.enqueueFront(r)
-}
+// recomputation (the vLLM default and everyone's last resort).
+func (g *Group) PreemptRecompute(r *request.Request) { g.exec.PreemptRecompute(r) }
+
+// PreemptDetach is PreemptRecompute without the local re-queue: the caller
+// chooses where the victim re-prefills (role-split policies reroute decode
+// victims to a prefill group).
+func (g *Group) PreemptDetach(r *request.Request) { g.exec.PreemptDetach(r) }
 
 // RemoveRequest detaches a running request from the group without freeing
-// its sequence (migration hands both to the destination).
-func (g *Group) RemoveRequest(r *request.Request) {
-	g.removeRunning(r)
-	delete(g.stalled, r.ID)
-}
+// its sequence (migration and handoff hand both to the destination).
+func (g *Group) RemoveRequest(r *request.Request) { g.exec.RemoveRequest(r) }
 
 // AdoptRunning adds an already-admitted request (with a live Seq in this
 // group's pool) to the running set.
-func (g *Group) AdoptRunning(r *request.Request) {
-	r.GroupID = g.ID
-	g.running = append(g.running, r)
-}
-
-func (g *Group) removeRunning(r *request.Request) {
-	for i, x := range g.running {
-		if x == r {
-			g.running = append(g.running[:i], g.running[i+1:]...)
-			return
-		}
-	}
-	panic(fmt.Sprintf("cluster: request %d not running in group %d", r.ID, g.ID))
-}
+func (g *Group) AdoptRunning(r *request.Request) { g.exec.AdoptRunning(r) }
 
 // UsedTokens returns tokens of KV currently allocated.
 func (g *Group) UsedTokens() int {
@@ -257,256 +227,16 @@ func (g *Group) CapacityTokens() int {
 	return g.pool.TotalBlocks() * g.pool.BlockTokens()
 }
 
-// DemandTokens estimates the group's memory demand following the standard
-// accounting (§2.2): the committed KV of in-processing requests (at least
-// their full prompt, since prefill will allocate it) plus the prompts of
-// queued requests.
-func (g *Group) DemandTokens() int {
-	d := 0
-	for _, r := range g.running {
-		committed := r.PrefillTarget()
-		if r.Seq != nil && r.Seq.Tokens() > committed {
-			committed = r.Seq.Tokens()
-		}
-		d += committed
-	}
-	g.queue.Each(func(r *request.Request) {
-		d += r.PrefillTarget()
-	})
-	return d
-}
-
-// maxRunning bounds the admitted set: vLLM's max_num_seqs per engine,
-// scaled by pipeline depth (each stage hosts a full scheduler's worth).
-func (g *Group) maxRunning() int {
-	if g.cl.Budget.MaxSeqs <= 0 {
-		return int(^uint(0) >> 1)
-	}
-	return g.cl.Budget.MaxSeqs * g.Stages()
-}
-
-// admit moves waiting requests into the running set in the discipline's
-// dispatch order while their prompts fit in free KV blocks. Admission is
-// head-of-line: when the head does not fit, nothing behind it is admitted
-// (every discipline defines fairness by defining the head). With prefix
-// caching the fit check reserves net of the cached chain — the hit tokens
-// need no new blocks, but the matched blocks also stop counting as
-// reclaimable (CanFitWithPrefix) — and the matched prefix counts as
-// already prefilled, so those chunks never reach the iteration former.
-func (g *Group) admit() {
-	for g.queue.Len() > 0 {
-		if len(g.running) >= g.maxRunning() {
-			return
-		}
-		r := g.queue.Peek()
-		if r.Done() {
-			// Finished elsewhere (shouldn't happen) — drop defensively.
-			g.queue.Pop()
-			continue
-		}
-		pfx := r.Prefix
-		if !g.cl.PrefixCaching {
-			pfx = kvcache.Prefix{}
-		}
-		if !g.pool.CanFitWithPrefix(pfx, r.PrefillTarget()) {
-			return
-		}
-		seq, hit, err := g.pool.NewSeqCached(pfx)
-		if err != nil {
-			return
-		}
-		g.queue.Pop()
-		r.Seq = seq
-		if hit > 0 {
-			r.PrefilledTokens = hit
-		}
-		g.cl.Collector.ObservePrefill(hit, r.PrefillTarget())
-		r.SetState(request.StateRunning)
-		g.running = append(g.running, r)
-	}
-}
-
-// schedulable splits running requests into decode-ready and prefilling,
-// excluding stalled ones. Order is deterministic: by arrival, then ID.
-func (g *Group) schedulable() (decodes, prefills []*request.Request) {
-	reqs := make([]*request.Request, 0, len(g.running))
-	for _, r := range g.running {
-		if g.stalled[r.ID] != nil || r.Done() {
-			continue
-		}
-		reqs = append(reqs, r)
-	}
-	sort.Slice(reqs, func(i, j int) bool {
-		if reqs[i].Arrival != reqs[j].Arrival {
-			return reqs[i].Arrival < reqs[j].Arrival
-		}
-		return reqs[i].ID < reqs[j].ID
-	})
-	for _, r := range reqs {
-		if r.InPrefill() {
-			prefills = append(prefills, r)
-		} else {
-			decodes = append(decodes, r)
-		}
-	}
-	return decodes, prefills
-}
-
-// reserveKV allocates blocks for each item's new tokens, consulting the
-// policy under pressure. Items that still cannot fit are dropped from this
-// round (their requests simply make no progress this iteration).
-func (g *Group) reserveKV(items []batching.Item) []batching.Item {
-	out := items[:0]
-	for _, it := range items {
-		ok := false
-		for attempt := 0; attempt < 64; attempt++ {
-			if it.Req.Seq == nil || it.Req.State() != request.StateRunning {
-				// A previous pressure call preempted or stalled
-				// this request.
-				break
-			}
-			if err := it.Req.Seq.Append(it.Chunk); err == nil {
-				ok = true
-				break
-			}
-			need := g.pool.BlocksForTokens(it.Req.Seq.Tokens()+it.Chunk) - it.Req.Seq.Blocks()
-			if !g.cl.Policy.HandlePressure(g, need) {
-				break
-			}
-		}
-		if ok {
-			g.lockedRound[it.Req.ID] = true
-			out = append(out, it)
-		}
-	}
-	return out
-}
-
-func (g *Group) startRound() {
-	if g.executing || g.scheduling || g.closed || g.draining {
-		return
-	}
-	g.scheduling = true
-	defer func() { g.scheduling = false }()
-	g.cl.Policy.BeforeAdmit(g)
-	g.admit()
-	decodes, prefills := g.schedulable()
-	// Each pipeline microbatch carries a full token budget (vLLM gives
-	// every in-flight virtual engine max_num_batched_tokens), so the
-	// iteration budget scales with pipeline depth.
-	budget := g.cl.Budget
-	budget.MaxTokens *= g.Stages()
-	if budget.MaxSeqs > 0 {
-		budget.MaxSeqs *= g.Stages()
-	}
-	items := batching.FormIteration(decodes, prefills, budget)
-	g.lockedRound = make(map[int]bool)
-	hadWork := len(items) > 0
-	items = g.reserveKV(items)
-	if len(items) == 0 {
-		if hadWork {
-			// Memory pressure blocked every item and the policy
-			// could not free anything synchronously; retry after
-			// Config.RetryRoundDelay (asynchronous relief — swap-out
-			// completion, a migration, a drop — will land in the
-			// meantime).
-			g.cl.Sim.After(g.cl.retryRoundDelay, "retry-round", g.Wake)
-		}
-		g.fireDrainedIfIdle()
-		return
-	}
-	g.executing = true
-	g.roundsRun++
-	mbs := g.cl.Policy.Former().Form(items, g.Stages())
-	g.engine.RunRound(mbs, func() { g.finishRound(items) })
-}
-
-func (g *Group) finishRound(items []batching.Item) {
-	now := g.cl.Sim.Now()
-	tokens := 0
-	for _, it := range items {
-		r := it.Req
-		if r.Done() || r.State() != request.StateRunning {
-			// Finished earlier in this loop (duplicate item) or
-			// preempted mid-round by a policy action.
-			continue
-		}
-		if it.IsPrefill {
-			before := r.Generated
-			r.AdvancePrefill(it.Chunk, now)
-			if r.Generated > before {
-				tokens++
-			}
-		} else {
-			r.AdvanceDecode(now)
-			tokens++
-		}
-		if r.Done() {
-			g.finishRequest(r, now)
-		}
-	}
-	if tokens > 0 {
-		g.cl.Collector.EmitTokens(now, tokens)
-	}
-	g.executing = false
-	if g.closed {
-		return
-	}
-	if g.draining {
-		g.fireDrainedIfIdle()
-		return
-	}
-	g.startRound()
-}
-
-func (g *Group) finishRequest(r *request.Request, now sim.Time) {
-	g.removeRunning(r)
-	if r.Seq != nil {
-		r.Seq.Free()
-		r.Seq = nil
-	}
-	r.SetState(request.StateFinished)
-	g.cl.Collector.Finish(metrics.RequestRecord{
-		ID:           r.ID,
-		Arrival:      r.Arrival,
-		FirstToken:   r.FirstTokenAt,
-		Completed:    now,
-		OutputTokens: r.OutputLen,
-		Client:       r.Client,
-		Class:        r.Class,
-	})
-	g.cl.requestFinished()
-}
+// DemandTokens estimates the group's memory demand (§2.2 accounting).
+func (g *Group) DemandTokens() int { return g.exec.DemandTokens() }
 
 // Drain freezes the group after the in-flight round and calls then once
 // idle. Used by reconfiguration (merge on drop, split on restore).
-func (g *Group) Drain(then func()) {
-	g.draining = true
-	g.onDrained = then
-	g.fireDrainedIfIdle()
-}
-
-func (g *Group) fireDrainedIfIdle() {
-	if g.draining && !g.executing && g.onDrained != nil {
-		fn := g.onDrained
-		g.onDrained = nil
-		fn()
-	}
-}
+func (g *Group) Drain(then func()) { g.exec.Drain(then) }
 
 // ExtractRequests empties the group's request sets for transplantation
 // into a successor group, marking the group closed. Stalled requests are
 // returned within running; callers must preserve their stall bookkeeping.
 func (g *Group) ExtractRequests() (running, waiting []*request.Request, stalled map[int]*request.Request) {
-	if g.executing {
-		panic(fmt.Sprintf("cluster: extracting from executing group %d", g.ID))
-	}
-	running, stalled = g.running, g.stalled
-	for g.queue.Len() > 0 {
-		waiting = append(waiting, g.queue.Pop())
-	}
-	g.running = nil
-	g.stalled = make(map[int]*request.Request)
-	g.closed = true
-	return running, waiting, stalled
+	return g.exec.ExtractRequests()
 }

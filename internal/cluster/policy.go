@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"kunserve/internal/batching"
+	"kunserve/internal/request"
 )
 
 // Former partitions one iteration's batch into pipeline microbatches. The
@@ -64,6 +65,18 @@ type Policy interface {
 
 	// Former returns the microbatch former for pipelined groups.
 	Former() Former
+}
+
+// PrefillFinisher is the optional policy extension role-split clusters
+// need: when a prefill-role group completes a request's prefill, the
+// execution engine hands the request to the policy — which ships its KV
+// to a decode group (admission-side reservation on the destination pool,
+// a handoff stall while blocks are in flight) — instead of decoding
+// locally. HandoffPrefill returns true when the policy took the request
+// over; Group.SetRole refuses the Prefill role for policies that do not
+// implement this interface.
+type PrefillFinisher interface {
+	HandoffPrefill(g *Group, r *request.Request) bool
 }
 
 // BasePolicy provides no-op defaults; concrete policies embed it.

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kunserve/internal/cluster"
+	"kunserve/internal/cluster/engine"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload/spec"
+)
+
+// The tentpole guarantee of the engine refactor: with every group in the
+// default Collocated role, the role-aware engine behaves as the old
+// monolithic Group loop did. This test locks the in-binary halves of the
+// guarantee — all five systems set up collocated groups, runs are
+// reproducible, and default summaries carry no per-stage section (so
+// -exp all -json marshals without a Stages key); the actual byte-for-byte
+// comparison against the pre-engine binary is the CI determinism job,
+// which diffs default -exp all -json against main's output (one binary
+// cannot diff itself against its own ancestor).
+func TestCollocatedEngineByteIdentical(t *testing.T) {
+	cfg := Quick().withDefaults()
+	tr, err := cfg.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range AllSystems() {
+		cc := cfg.clusterConfig(tr)
+		cc.Policy = NewPolicy(s)
+		cl, err := cluster.New(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range cl.Groups() {
+			if g.Role() != engine.RoleCollocated {
+				t.Errorf("%s: group %d role %v, want collocated", s, g.ID, g.Role())
+			}
+		}
+	}
+	a, err := RunAllSystems(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAllSystems(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("collocated engine runs are not reproducible")
+	}
+	for _, s := range a.Systems {
+		if len(s.Stages) != 0 {
+			t.Fatalf("%s: collocated run observed stage waits: %+v", s.System, s.Stages)
+		}
+		js, err := json.Marshal(s.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(js), "Stages") {
+			t.Fatalf("%s: default summary JSON mentions Stages: %s", s.System, js)
+		}
+	}
+}
+
+func TestDisaggSplitsDerivation(t *testing.T) {
+	got := DisaggSplits(4)
+	want := []DisaggSplit{{1, 3}, {2, 2}, {3, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("splits(4) = %v", got)
+	}
+	if got := DisaggSplits(2); len(got) != 1 || got[0] != (DisaggSplit{1, 1}) {
+		t.Fatalf("splits(2) = %v", got)
+	}
+	if got := DisaggSplits(8); len(got) != 3 || got[1] != (DisaggSplit{4, 4}) {
+		t.Fatalf("splits(8) = %v", got)
+	}
+}
+
+// The disaggregation experiment: at least 3 splits x 2 load points against
+// the two collocated references, end to end, with per-stage queueing
+// metrics on every disaggregated cell, bit-identical under -parallel.
+func TestExperimentDisagg(t *testing.T) {
+	cfg := Quick()
+	cfg.Duration = 48 * sim.Second
+	seqCfg := cfg
+	seqCfg.Parallel = 1
+	parCfg := cfg
+	parCfg.Parallel = 8
+	seq, err := ExperimentDisagg(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExperimentDisagg(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel disagg experiment differs from sequential")
+	}
+	if seq.Instances != 4 {
+		t.Fatalf("instances = %d (quick scale must be raised to 4)", seq.Instances)
+	}
+	if len(seq.Splits) != 3 || len(seq.Loads) != 2 {
+		t.Fatalf("splits %v loads %v", seq.Splits, seq.Loads)
+	}
+	wantRows := (2 + len(seq.Splits)) * len(seq.Loads)
+	if len(seq.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(seq.Rows), wantRows)
+	}
+	for _, row := range seq.Rows {
+		if row.Finished == 0 {
+			t.Errorf("%s load %.2f finished nothing", row.System, row.Load)
+		}
+		if row.TTFTP50 <= 0 || row.TPOTP50 <= 0 {
+			t.Errorf("%s load %.2f percentiles: %+v", row.System, row.Load, row)
+		}
+		if row.Split == "" {
+			// Collocated baselines must never report stage metrics.
+			if row.Handoffs != 0 || row.TransferP99 != 0 || row.PrefillWaitP99 != 0 {
+				t.Errorf("baseline %s reports stage metrics: %+v", row.System, row)
+			}
+			continue
+		}
+		if row.Handoffs == 0 {
+			t.Errorf("%s load %.2f never handed off", row.System, row.Load)
+		}
+		if row.TransferP99 <= 0 || row.DecodeWaitP99 <= 0 {
+			t.Errorf("%s load %.2f missing stage percentiles: %+v", row.System, row.Load, row)
+		}
+		if row.TransferredGB <= 0 || row.TransferredGB > row.FullKVGB {
+			t.Errorf("%s load %.2f transfer accounting: sent %.2f of %.2f GB",
+				row.System, row.Load, row.TransferredGB, row.FullKVGB)
+		}
+	}
+	// The disaggregation claim: a decode pool free of prefill interference
+	// has steadier decode latency. The prefill-light split's P99 TPOT must
+	// beat the collocated primary baseline's at the overload point.
+	hi := DisaggLoadPoints[len(DisaggLoadPoints)-1]
+	dp := seq.Row("vLLM (DP)", hi)
+	light := seq.Row("Disagg (1P:3D)", hi)
+	if dp == nil || light == nil {
+		t.Fatal("missing rows")
+	}
+	if light.TPOTP99 >= dp.TPOTP99 {
+		t.Errorf("decode-heavy split P99 TPOT %.1fms not below collocated DP %.1fms",
+			light.TPOTP99*1000, dp.TPOTP99*1000)
+	}
+	var buf bytes.Buffer
+	PrintExperimentDisagg(&buf, seq)
+	if !strings.Contains(buf.String(), "handoffs") {
+		t.Fatal("printer output missing stage table")
+	}
+}
+
+// A configured workload spec carries its own rates, which would make the
+// load axis inert (every load point identical); the experiment therefore
+// ignores it — the load sweep must actually sweep.
+func TestExperimentDisaggIgnoresWorkloadSpec(t *testing.T) {
+	cfg := Quick()
+	cfg.Duration = 24 * sim.Second
+	cfg.WorkloadSpec = &spec.Spec{
+		Name: "inert", Seed: 3, DurationS: 8, TotalRPS: 2,
+		Clients: []spec.Client{{Name: "c", RateFraction: 1,
+			Arrival: spec.Arrival{Process: "poisson"}, Dataset: "burstgpt"}},
+	}
+	res, err := ExperimentDisagg(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := res.Row("vLLM (DP)", DisaggLoadPoints[0])
+	hi := res.Row("vLLM (DP)", DisaggLoadPoints[len(DisaggLoadPoints)-1])
+	if lo == nil || hi == nil {
+		t.Fatal("missing baseline rows")
+	}
+	if lo.Finished == hi.Finished && lo.TTFTP99 == hi.TTFTP99 {
+		t.Fatalf("load points identical (%+v vs %+v): the spec made the sweep inert", lo, hi)
+	}
+}

@@ -229,7 +229,30 @@ type Collector struct {
 	// the run's prefix-cache hit rate.
 	PrefillTokens       int64
 	CachedPrefillTokens int64
+
+	// StageWaits breaks disaggregated serving into per-stage waiting-time
+	// distributions (prefill queue delay, KV handoff transfer time, decode
+	// queue delay). Nil until the first observation, so collocated runs
+	// carry no stage state at all.
+	StageWaits map[string]*Dist
 }
+
+// Disaggregation stage labels for ObserveStageWait.
+const (
+	// StagePrefillQueue is a request's wait from arrival to admission
+	// into a prefill-role group.
+	StagePrefillQueue = "prefill_queue"
+	// StageHandoffPending is the wait from prefill completion to the KV
+	// transfer starting — zero when a decode group fits immediately, the
+	// decode pool's back-pressure when none does.
+	StageHandoffPending = "handoff_pending"
+	// StageKVTransfer is the KV handoff's wire time from a prefill group
+	// to its decode destination.
+	StageKVTransfer = "kv_transfer"
+	// StageDecodeQueue is the wait from handoff completion to the first
+	// decode advance on the destination group.
+	StageDecodeQueue = "decode_queue"
+)
 
 // NewCollector creates a collector with the given time-series window.
 func NewCollector(window sim.Duration) *Collector {
@@ -290,6 +313,30 @@ func (c *Collector) PrefixHitRate() float64 {
 		return 0
 	}
 	return float64(c.CachedPrefillTokens) / float64(c.PrefillTokens)
+}
+
+// ObserveStageWait records one stage-level wait (seconds) under the given
+// stage label (see the Stage* constants).
+func (c *Collector) ObserveStageWait(stage string, seconds float64) {
+	if c.StageWaits == nil {
+		c.StageWaits = map[string]*Dist{}
+	}
+	d := c.StageWaits[stage]
+	if d == nil {
+		d = &Dist{}
+		c.StageWaits[stage] = d
+	}
+	d.Add(seconds)
+}
+
+// StageNames returns the observed stage labels, sorted.
+func (c *Collector) StageNames() []string {
+	out := make([]string, 0, len(c.StageWaits))
+	for name := range c.StageWaits {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // EmitTokens records generated tokens for throughput accounting.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -441,6 +442,29 @@ func TestPropertyPercentiles(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStageWaits(t *testing.T) {
+	c := NewCollector(sim.Second)
+	if c.StageWaits != nil || len(c.StageNames()) != 0 {
+		t.Fatal("fresh collector carries stage state")
+	}
+	c.ObserveStageWait(StageKVTransfer, 0.5)
+	c.ObserveStageWait(StagePrefillQueue, 1.0)
+	c.ObserveStageWait(StagePrefillQueue, 3.0)
+	want := []string{StageKVTransfer, StagePrefillQueue}
+	if got := c.StageNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("StageNames = %v, want %v", got, want)
+	}
+	if d := c.StageWaits[StagePrefillQueue]; d.Count() != 2 || d.Mean() != 2.0 {
+		t.Errorf("prefill queue dist: count %d mean %v", d.Count(), d.Mean())
+	}
+	if d := c.StageWaits[StageKVTransfer]; d.Percentile(50) != 0.5 {
+		t.Errorf("transfer P50 = %v", d.Percentile(50))
+	}
+	if c.StageWaits[StageDecodeQueue] != nil {
+		t.Error("unobserved stage materialized")
 	}
 }
 

@@ -160,8 +160,15 @@ type BulkTransfer struct {
 // SendChunked starts a chunked bulk transfer of totalBytes in chunkBytes
 // pieces. done fires once after the final chunk. The returned handle can
 // pause/resume the stream (used when the exchange engine detects imminent
-// activation transfers) or cancel it.
+// activation transfers) or cancel it. Negative totals and non-positive
+// chunk sizes panic — a silently accepted bad chunk size would loop the
+// transfer forever, and negative bytes are always a caller's accounting
+// bug. A zero total is legal and completes after one zero-byte tail send
+// (like Send, it still serializes through the link).
 func (l *Link) SendChunked(totalBytes, chunkBytes int64, pri Priority, label string, done func()) *BulkTransfer {
+	if totalBytes < 0 {
+		panic(fmt.Sprintf("network: negative chunked send %d", totalBytes))
+	}
 	if chunkBytes <= 0 {
 		panic(fmt.Sprintf("network: chunk size %d", chunkBytes))
 	}

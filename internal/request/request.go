@@ -4,8 +4,10 @@
 // token per iteration until OutputLen tokens have been produced (TPOT).
 // Overload-handling policies move requests through additional states:
 // preempted (KVCache dropped for recompute), swapped (KVCache in host
-// DRAM), migrating (KVCache moving to another instance), and exchanging
-// (KVCache in transit after a parameter drop reshaped the group).
+// DRAM), migrating (KVCache moving to another instance), exchanging
+// (KVCache in transit after a parameter drop reshaped the group), and
+// handoff (prefill-complete KVCache shipping from a prefill group to a
+// decode group in a disaggregated deployment).
 package request
 
 import (
@@ -27,6 +29,7 @@ const (
 	StateSwapped
 	StateMigrating
 	StateExchanging
+	StateHandoff
 )
 
 var stateNames = map[State]string{
@@ -37,6 +40,7 @@ var stateNames = map[State]string{
 	StateSwapped:    "swapped",
 	StateMigrating:  "migrating",
 	StateExchanging: "exchanging",
+	StateHandoff:    "handoff",
 }
 
 func (s State) String() string {
@@ -49,13 +53,15 @@ func (s State) String() string {
 // validNext enumerates the legal state transitions.
 var validNext = map[State][]State{
 	StateQueued:    {StateRunning},
-	StateRunning:   {StateFinished, StatePreempted, StateSwapped, StateMigrating, StateExchanging, StateQueued},
+	StateRunning:   {StateFinished, StatePreempted, StateSwapped, StateMigrating, StateExchanging, StateHandoff, StateQueued},
 	StatePreempted: {StateRunning, StateQueued},
-	// Swapped/migrating/exchanging requests can be demoted to queued by
-	// failure recovery or reconfiguration (their KVCache is recomputed).
+	// Swapped/migrating/exchanging/handoff requests can be demoted to
+	// queued by failure recovery or reconfiguration (their KVCache is
+	// recomputed).
 	StateSwapped:    {StateRunning, StateQueued},
 	StateMigrating:  {StateRunning, StateQueued},
 	StateExchanging: {StateRunning, StateQueued},
+	StateHandoff:    {StateRunning, StateQueued},
 	StateFinished:   {},
 }
 

@@ -191,6 +191,8 @@ func TestStateTransitions(t *testing.T) {
 		{StateQueued, StateRunning, StateSwapped, StateRunning},
 		{StateQueued, StateRunning, StateMigrating, StateRunning},
 		{StateQueued, StateRunning, StateExchanging, StateRunning},
+		{StateQueued, StateRunning, StateHandoff, StateRunning},
+		{StateQueued, StateRunning, StateHandoff, StateQueued},
 		{StateQueued, StateRunning, StateQueued},
 	}
 	for i, path := range legal {
@@ -209,6 +211,8 @@ func TestStateTransitions(t *testing.T) {
 	illegal := [][]State{
 		{StateQueued, StateFinished},
 		{StateQueued, StateSwapped},
+		{StateQueued, StateHandoff},
+		{StateQueued, StateRunning, StateHandoff, StateFinished},
 		{StateQueued, StateRunning, StateFinished, StateRunning},
 		{StateQueued, StateRunning, StatePreempted, StateFinished},
 	}
@@ -230,6 +234,9 @@ func TestStateTransitions(t *testing.T) {
 func TestStateString(t *testing.T) {
 	if StateQueued.String() != "queued" || StateExchanging.String() != "exchanging" {
 		t.Error("state names")
+	}
+	if StateHandoff.String() != "handoff" {
+		t.Error("handoff state name")
 	}
 	if !strings.Contains(State(99).String(), "99") {
 		t.Error("unknown state name")

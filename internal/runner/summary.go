@@ -49,6 +49,13 @@ type Summary struct {
 	// workloads, so untagged runs marshal identically to before.
 	PerClass []ClassSummary `json:",omitempty"`
 
+	// Stages breaks disaggregated serving into per-stage queueing and
+	// transfer times (prefill queue delay, handoff back-pressure, KV
+	// transfer, decode queue delay), sorted by stage name. Empty — and
+	// absent from JSON — for collocated runs, which never observe a
+	// stage wait.
+	Stages []StageSummary `json:",omitempty"`
+
 	// PrefixCache reports the content-addressed KVCache's sharing
 	// activity: hit rate, prefill compute saved, cached/pinned block
 	// gauges, copy-on-write copies, and evictions. Nil (and absent from
@@ -99,6 +106,16 @@ type PrefixCacheSummary struct {
 	SharedBlocks     int
 	PeakCachedBlocks int
 	PeakSharedBlocks int
+}
+
+// StageSummary is one disaggregation stage's waiting-time distribution:
+// how long requests spent queued for prefill, in KV handoff transfer, or
+// waiting for their first decode, in seconds.
+type StageSummary struct {
+	Stage string
+	Count int
+
+	Mean, P50, P99 float64
 }
 
 // ClassSummary is one SLO class's slice of a run: latency percentiles,
@@ -218,6 +235,16 @@ func Summarize(cl *cluster.Cluster) Summary {
 	// token throughput are comparable rates.
 	span := float64(col.Tokens.Bins()) * col.Tokens.Window().Seconds()
 	s.PerClass = classBreakdown(col, cl.SLOClasses, span)
+	for _, name := range col.StageNames() {
+		d := col.StageWaits[name]
+		s.Stages = append(s.Stages, StageSummary{
+			Stage: name,
+			Count: d.Count(),
+			Mean:  d.Mean(),
+			P50:   d.Percentile(50),
+			P99:   d.Percentile(99),
+		})
+	}
 	if cl.PrefixCaching {
 		r := cl.KVCacheReport()
 		s.PrefixCache = &PrefixCacheSummary{

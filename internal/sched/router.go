@@ -118,6 +118,31 @@ func (*LeastKVDemand) Route(_ *request.Request, cands []Candidate) int {
 	return best
 }
 
+// QueueDepth routes to the candidate with the fewest waiting requests,
+// ignoring KV demand; ties keep the earliest candidate. This is the
+// disaggregated prefill dispatcher: a prefill pool's queues drain at
+// prompt-processing speed, so queue depth — not resident KV, which
+// prefill groups shed at every handoff — is the congestion signal that
+// predicts a new prompt's wait.
+type QueueDepth struct{}
+
+// NewQueueDepth returns a queue-depth router.
+func NewQueueDepth() *QueueDepth { return &QueueDepth{} }
+
+// Name implements Router.
+func (*QueueDepth) Name() string { return "queue-depth" }
+
+// Route implements Router.
+func (*QueueDepth) Route(_ *request.Request, cands []Candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].QueueLen < cands[best].QueueLen {
+			best = i
+		}
+	}
+	return best
+}
+
 // ClientAffinity pins each client's requests to a stable group via
 // rendezvous (highest-random-weight) hashing over (client, group ID),
 // giving per-tenant locality (KV reuse, noisy-neighbor isolation) at the

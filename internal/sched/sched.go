@@ -17,13 +17,18 @@ import (
 	"kunserve/internal/request"
 )
 
-// Candidate is one live serving group as the router sees it: its identity
-// and its current KV memory demand/capacity in tokens. Candidates are
-// presented in stable group-registration order.
+// Candidate is one live serving group as the router sees it: its identity,
+// its current KV memory demand/capacity in tokens, and its wait-queue
+// depth. Candidates are presented in stable group-registration order, and
+// only groups whose role admits new arrivals appear (the dispatcher
+// filters decode-role groups out before routing).
 type Candidate struct {
 	ID             int
 	DemandTokens   int
 	CapacityTokens int
+	// QueueLen is the candidate's wait-queue depth; queue-depth routing
+	// (the disaggregated prefill dispatcher) keys on it.
+	QueueLen int
 }
 
 // Load returns the demand/capacity ratio.
@@ -92,7 +97,7 @@ func (t ClassTargets) Names() []string {
 
 // RouterNames lists the built-in routers in NewRouterByName's canonical
 // spelling.
-var RouterNames = []string{"least-loaded", "round-robin", "p2c", "least-kv", "affinity"}
+var RouterNames = []string{"least-loaded", "round-robin", "p2c", "least-kv", "affinity", "queue-depth"}
 
 // DisciplineNames lists the built-in queue disciplines.
 var DisciplineNames = []string{"fcfs", "priority", "edf"}
@@ -112,6 +117,8 @@ func NewRouterByName(name string, seed int64) (Router, error) {
 		return NewLeastKVDemand(), nil
 	case "affinity", "client-affinity":
 		return NewClientAffinity(), nil
+	case "queue-depth", "least-queued":
+		return NewQueueDepth(), nil
 	}
 	return nil, fmt.Errorf("sched: unknown router %q (valid: %s)",
 		name, strings.Join(RouterNames, ", "))

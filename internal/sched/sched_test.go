@@ -88,6 +88,22 @@ func TestLeastKVDemandIgnoresCapacity(t *testing.T) {
 	}
 }
 
+func TestQueueDepthPicksShortestQueueKeepingFirstTie(t *testing.T) {
+	r := NewQueueDepth()
+	cands := []Candidate{
+		{ID: 0, QueueLen: 3, DemandTokens: 0, CapacityTokens: 100},
+		{ID: 1, QueueLen: 1, DemandTokens: 99, CapacityTokens: 100},
+		{ID: 2, QueueLen: 1, DemandTokens: 0, CapacityTokens: 100},
+	}
+	// Shortest queue wins regardless of KV load; ties keep the earliest.
+	if got := r.Route(nil, cands); got != 1 {
+		t.Errorf("route = %d, want 1", got)
+	}
+	if got := r.Route(nil, cands[:1]); got != 0 {
+		t.Errorf("single candidate = %d", got)
+	}
+}
+
 func TestClientAffinityStableAndFallsBack(t *testing.T) {
 	r := NewClientAffinity()
 	cs := cands([2]int{90, 100}, [2]int{10, 100}, [2]int{50, 100})
