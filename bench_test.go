@@ -24,6 +24,7 @@ import (
 	"kunserve/internal/memory"
 	"kunserve/internal/model"
 	"kunserve/internal/network"
+	"kunserve/internal/obs"
 	"kunserve/internal/request"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
@@ -355,6 +356,33 @@ func BenchmarkExperimentDisagg(b *testing.B) {
 	b.ReportMetric(dp.TPOTP99*1000, "vllm-p99tpot-ms")
 	b.ReportMetric(float64(balanced.Handoffs), "handoffs")
 	b.ReportMetric(balanced.TransferP99*1000, "p99-xfer-ms")
+}
+
+// BenchmarkTracingOverhead runs the same fig2 experiment untraced and
+// traced. The "disabled" case is the guarantee that matters — a nil
+// tracer must cost nothing on the hot paths (acceptance bound: <5% vs an
+// uninstrumented build); "enabled" prices full event recording.
+func BenchmarkTracingOverhead(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		events := 0
+		for i := 0; i < b.N; i++ {
+			cfg := experiments.Quick()
+			if traced {
+				cfg.TraceSink = obs.NewSink()
+			}
+			if _, err := experiments.Figure2(cfg); err != nil {
+				b.Fatal(err)
+			}
+			if traced {
+				events = cfg.TraceSink.Events()
+			}
+		}
+		if traced {
+			b.ReportMetric(float64(events), "events")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
 }
 
 // --- Design-choice micro-benches ----------------------------------------

@@ -8,7 +8,8 @@
 //	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT] \
 //	    [-parallel N] [-json] [-list-exps] [-sweep key=lo:hi:step] [-spec workload.json] \
 //	    [-router least-loaded|round-robin|p2c|least-kv|affinity|queue-depth] \
-//	    [-queue fcfs|priority|edf] [-prefix-caching] [-cache-evict lru|fifo]
+//	    [-queue fcfs|priority|edf] [-prefix-caching] [-cache-evict lru|fifo] \
+//	    [-trace out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -parallel bounds the worker pool the experiment run matrices execute on
 // (default GOMAXPROCS); results are bit-identical whatever the value.
@@ -36,6 +37,14 @@
 // the three is part of "all" so that "all" output stays comparable across
 // versions. -list-exps prints each experiment with its description and
 // exits.
+//
+// -trace writes a Chrome trace-event / Perfetto JSON record of every
+// simulation the experiment ran (per-request lifecycle spans, dispatch
+// decisions, queue and engine-stage events, KVCache activity, drop/restore
+// reconfigurations, handoff transfers; see EXPERIMENTS.md for the schema
+// and a Perfetto walkthrough). Tracing off — the default — costs nothing
+// and reproduces untraced output byte-for-byte. -cpuprofile/-memprofile
+// write Go pprof profiles of the run for hot-path work.
 package main
 
 import (
@@ -48,6 +57,8 @@ import (
 	"strings"
 
 	"kunserve/internal/experiments"
+	"kunserve/internal/obs"
+	"kunserve/internal/runner"
 	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
@@ -100,6 +111,9 @@ func main() {
 		queue     = flag.String("queue", "", "wait-queue discipline: "+strings.Join(sched.DisciplineNames, ", ")+" (default fcfs)")
 		prefixOn  = flag.Bool("prefix-caching", false, "enable content-addressed KVCache prefix sharing (default off; off reproduces the identity-free allocator byte-for-byte)")
 		evict     = flag.String("cache-evict", "", "cached-block eviction policy: lru (default), fifo; only meaningful with -prefix-caching")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of every simulation to this file (load it at ui.perfetto.dev)")
+		cpuProf   = flag.String("cpuprofile", "", "write a Go CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a Go heap profile after the run to this file")
 		listExps  = flag.Bool("list-exps", false, "print every experiment name with a one-line description and exit")
 	)
 	flag.Parse()
@@ -152,6 +166,9 @@ func main() {
 	cfg.Queue = *queue
 	cfg.PrefixCaching = *prefixOn
 	cfg.CacheEvict = *evict
+	if *tracePath != "" {
+		cfg.TraceSink = obs.NewSink()
+	}
 	if err := cfg.ValidateSched(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -189,6 +206,17 @@ func main() {
 		}
 	}
 
+	var stopCPU func() error
+	if *cpuProf != "" {
+		stop, err := runner.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+
+	var runErr error
 	if *sweepFlag != "" {
 		key, values, err := experiments.ParseSweep(*sweepFlag)
 		if err != nil {
@@ -200,15 +228,33 @@ func main() {
 				fmt.Fprintln(os.Stderr, "note: -exp is ignored in -sweep mode (the sweep runs the five systems)")
 			}
 		})
-		if err := runSweep(key, values, cfg, *jsonOut); err != nil {
+		runErr = runSweep(key, values, cfg, *jsonOut)
+	} else {
+		runErr = run(*exp, cfg, *jsonOut)
+	}
+
+	// Profiles and traces flush even when the run errored: a partial
+	// trace of a failing experiment is exactly what one debugs with.
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
 	}
-
-	if err := run(*exp, cfg, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if *memProf != "" {
+		if err := runner.WriteHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if cfg.TraceSink != nil {
+		if err := cfg.TraceSink.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"kunserve/internal/kvcache"
 	"kunserve/internal/metrics"
 	"kunserve/internal/network"
+	"kunserve/internal/obs"
 	"kunserve/internal/request"
 	"kunserve/internal/sim"
 )
@@ -243,10 +244,26 @@ func (p *Disagg) tryHandoff(c *cluster.Cluster, src *cluster.Group, r *request.R
 		delete(p.stalledAt, r.ID)
 	}
 	egress := c.Fabric.Egress(src.Instances()[0].ID)
-	egress.SendChunked(bytes, chunk, network.PriorityBulk,
+	bt := egress.SendChunked(bytes, chunk, network.PriorityBulk,
 		fmt.Sprintf("handoff:%d", r.ID), func() {
 			p.finishHandoff(c, src, dst, r, seq, start, tokens, cached)
 		})
+	if tr := c.Tracer(); tr != nil {
+		tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: start,
+			Cat: obs.CatHandoff, Name: "handoff_start", Group: src.ID,
+			Track: "handoff", Req: r.ID,
+			Args: [2]obs.Arg{
+				{Key: "bytes", Val: bytes},
+				{Key: "dst", Val: int64(dst.ID)},
+			}})
+		bt.OnChunk = func(chunkBytes int64) {
+			tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: c.Sim.Now(),
+				Cat: obs.CatHandoff, Name: "handoff_chunk", Group: src.ID,
+				Track: "handoff", Req: r.ID,
+				Args: [2]obs.Arg{{Key: "bytes", Val: chunkBytes}}})
+		}
+		c.ReqTrack().Transition(start, r.ID, "kv_transfer", src.ID)
+	}
 	return true
 }
 
@@ -269,6 +286,15 @@ func (p *Disagg) finishHandoff(c *cluster.Cluster, src, dst *cluster.Group,
 	p.stats.FullKVBytes += int64(tokens) * c.Model.KVBytesPerToken()
 	p.stats.CachedTokensReused += int64(cached)
 	c.Collector.ObserveStageWait(metrics.StageKVTransfer, c.Sim.Now().Sub(start).Seconds())
+	if tr := c.Tracer(); tr != nil {
+		tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: c.Sim.Now(),
+			Cat: obs.CatHandoff, Name: "handoff_done", Group: dst.ID,
+			Track: "handoff", Req: r.ID,
+			Args: [2]obs.Arg{
+				{Key: "tokens", Val: int64(tokens)},
+				{Key: "cached", Val: int64(cached)},
+			}})
+	}
 	src.RemoveRequest(r)
 	r.Seq.Free()
 	r.Seq = seq

@@ -17,6 +17,7 @@ import (
 	"kunserve/internal/metrics"
 	"kunserve/internal/model"
 	"kunserve/internal/network"
+	"kunserve/internal/obs"
 	"kunserve/internal/request"
 	"kunserve/internal/sched"
 	"kunserve/internal/sim"
@@ -67,6 +68,13 @@ type Config struct {
 	// CacheEvict names the cached-block eviction policy ("lru" default,
 	// "fifo"); only meaningful with PrefixCaching.
 	CacheEvict string
+	// Tracer, when set, receives structured observability events from
+	// every layer of the cluster (dispatch, queues, engine rounds, the KV
+	// pools, policy reconfigurations) plus per-request lifecycle spans.
+	// Nil — the default — disables tracing entirely: no emission site
+	// allocates or schedules anything, so an untraced run is byte-identical
+	// to a build without the tracing layer.
+	Tracer obs.Tracer
 	// RetryRoundDelay is how long a group sleeps before retrying a
 	// scheduling round in which memory pressure blocked every batch item
 	// and the policy freed nothing synchronously (default 10 ms).
@@ -128,6 +136,10 @@ type Cluster struct {
 
 	router        sched.Router
 	newDiscipline func() sched.Discipline
+
+	// tracer/reqTrack are nil unless the config attached a Tracer.
+	tracer   obs.Tracer
+	reqTrack *obs.ReqTracker
 
 	// retiredPools keeps the block pools of dissolved groups so their
 	// sharing stats (and the cached blocks a reconfiguration destroyed)
@@ -195,6 +207,8 @@ func New(cfg Config) (*Cluster, error) {
 		HostParamReplica: true,
 		router:           sched.NewLeastLoaded(),
 		newDiscipline:    sched.NewFCFS,
+		tracer:           cfg.Tracer,
+		reqTrack:         obs.NewReqTracker(cfg.Tracer),
 	}
 	if cfg.NewRouter != nil {
 		if c.router = cfg.NewRouter(cfg.Seed); c.router == nil {
@@ -285,6 +299,14 @@ func (c *Cluster) requestFinished() { c.outstanding-- }
 // Router returns the dispatch router in use.
 func (c *Cluster) Router() sched.Router { return c.router }
 
+// Tracer returns the cluster's tracer (nil when tracing is off). Policies
+// nil-check it before emitting.
+func (c *Cluster) Tracer() obs.Tracer { return c.tracer }
+
+// ReqTrack returns the per-request lifecycle span tracker (nil when
+// tracing is off; its methods are nil-receiver-safe).
+func (c *Cluster) ReqTrack() *obs.ReqTracker { return c.reqTrack }
+
 // Dispatch routes a request to a live group through the cluster's router
 // (least-loaded by default: the Llumnix-style load-balancing dispatcher
 // every system shares, §3). Only groups whose role admits new arrivals
@@ -315,6 +337,15 @@ func (c *Cluster) Dispatch(r *request.Request) error {
 	if idx < 0 || idx >= len(targets) {
 		return fmt.Errorf("cluster: router %s chose candidate %d of %d",
 			c.router.Name(), idx, len(cands))
+	}
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{Phase: obs.PhaseInstant, Time: c.Sim.Now(),
+			Cat: obs.CatDispatch, Name: c.router.Name(),
+			Group: obs.GroupCluster, Track: "dispatch", Req: r.ID,
+			Args: [2]obs.Arg{
+				{Key: "group", Val: int64(targets[idx].ID)},
+				{Key: "candidates", Val: int64(len(cands))},
+			}})
 	}
 	targets[idx].Enqueue(r)
 	return nil
@@ -379,6 +410,16 @@ func (c *Cluster) UsedBytes() int64 {
 
 func (c *Cluster) monitorTick() {
 	c.Collector.ObserveKVDemand(c.Sim.Now(), c.DemandBytes())
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{Phase: obs.PhaseCounter, Time: c.Sim.Now(),
+			Cat: obs.CatDispatch, Name: "kv_demand_bytes",
+			Group: obs.GroupCluster, Req: obs.ReqNone,
+			Value: float64(c.DemandBytes())})
+		c.tracer.Emit(obs.Event{Phase: obs.PhaseCounter, Time: c.Sim.Now(),
+			Cat: obs.CatDispatch, Name: "outstanding",
+			Group: obs.GroupCluster, Req: obs.ReqNone,
+			Value: float64(c.outstanding)})
+	}
 	if c.PrefixCaching {
 		cached, shared := 0, 0
 		for _, g := range c.groups {

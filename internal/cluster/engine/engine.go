@@ -27,6 +27,7 @@ import (
 	"kunserve/internal/batching"
 	"kunserve/internal/kvcache"
 	"kunserve/internal/metrics"
+	"kunserve/internal/obs"
 	"kunserve/internal/pipeline"
 	"kunserve/internal/request"
 	"kunserve/internal/sched"
@@ -117,6 +118,12 @@ type Options struct {
 	// RetryDelay is the sleep before retrying a fully pressure-blocked
 	// round.
 	RetryDelay sim.Duration
+	// Tracer receives structured observability events; nil (the default)
+	// disables tracing with zero cost on the scheduling path.
+	Tracer obs.Tracer
+	// Req tracks per-request lifecycle spans; nil when tracing is off
+	// (its methods are nil-receiver-safe, so call sites stay unguarded).
+	Req *obs.ReqTracker
 	// Callbacks wire the policy layer in.
 	Callbacks Callbacks
 }
@@ -132,6 +139,13 @@ type Engine struct {
 	queue sched.Discipline
 	col   *metrics.Collector
 	cb    Callbacks
+
+	// tr/rt are nil unless tracing is enabled (Options.Tracer set).
+	tr obs.Tracer
+	rt *obs.ReqTracker
+	// roundStart stamps the launch of the in-flight round so finishRound
+	// can emit its duration slice. Only maintained while tracing.
+	roundStart sim.Time
 
 	budget        batching.Budget
 	depth         int
@@ -183,6 +197,8 @@ func New(opts Options) *Engine {
 		depth:         opts.Depth,
 		prefixCaching: opts.PrefixCaching,
 		retryDelay:    opts.RetryDelay,
+		tr:            opts.Tracer,
+		rt:            opts.Req,
 		stalled:       make(map[int]*request.Request),
 		lockedRound:   make(map[int]bool),
 	}
@@ -284,6 +300,7 @@ func (e *Engine) Enqueue(r *request.Request) {
 	r.GroupID = e.groupID
 	e.stampQueued(r)
 	e.queue.Push(r)
+	e.traceQueued(r, "enqueue")
 	e.Wake()
 }
 
@@ -293,6 +310,17 @@ func (e *Engine) EnqueueFront(r *request.Request) {
 	r.GroupID = e.groupID
 	e.stampQueued(r)
 	e.queue.PushFront(r)
+	e.traceQueued(r, "requeue")
+}
+
+func (e *Engine) traceQueued(r *request.Request, name string) {
+	if e.tr != nil {
+		e.tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: e.simu.Now(),
+			Cat: obs.CatQueue, Name: name, Group: e.groupID, Track: "queue",
+			Req:  r.ID,
+			Args: [2]obs.Arg{{Key: "depth", Val: int64(e.queue.Len())}}})
+	}
+	e.rt.Transition(e.simu.Now(), r.ID, "queued", e.groupID)
 }
 
 func (e *Engine) stampQueued(r *request.Request) {
@@ -319,6 +347,7 @@ func (e *Engine) Wake() {
 func (e *Engine) Stall(r *request.Request, st request.State) {
 	r.SetState(st)
 	e.stalled[r.ID] = r
+	e.rt.Transition(e.simu.Now(), r.ID, st.String(), e.groupID)
 }
 
 // Unstall resumes a stalled request.
@@ -328,6 +357,11 @@ func (e *Engine) Unstall(r *request.Request) {
 	}
 	delete(e.stalled, r.ID)
 	r.SetState(request.StateRunning)
+	if r.InPrefill() {
+		e.rt.Transition(e.simu.Now(), r.ID, "prefill", e.groupID)
+	} else {
+		e.rt.Transition(e.simu.Now(), r.ID, "decode", e.groupID)
+	}
 	e.Wake()
 }
 
@@ -384,6 +418,12 @@ func (e *Engine) PreemptDetach(r *request.Request) {
 	r.SetState(request.StatePreempted)
 	r.ResetForRecompute()
 	r.SetState(request.StateQueued)
+	if e.tr != nil {
+		e.tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: e.simu.Now(),
+			Cat: obs.CatCore, Name: "preempt", Group: e.groupID,
+			Track: "preempt", Req: r.ID})
+	}
+	e.rt.Transition(e.simu.Now(), r.ID, "preempted", e.groupID)
 }
 
 // RemoveRequest detaches a running request from the engine without freeing
@@ -495,6 +535,13 @@ func (e *Engine) runAdmit(*round) bool {
 		}
 		r.SetState(request.StateRunning)
 		e.running = append(e.running, r)
+		if e.tr != nil {
+			e.tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: e.simu.Now(),
+				Cat: obs.CatQueue, Name: "admit", Group: e.groupID,
+				Track: "queue", Req: r.ID,
+				Args: [2]obs.Arg{{Key: "prefix_hit", Val: int64(hit)}}})
+		}
+		e.rt.Transition(e.simu.Now(), r.ID, "prefill", e.groupID)
 	}
 	return true
 }
@@ -604,9 +651,23 @@ func (e *Engine) runLaunch(rd *round) bool {
 	}
 	e.executing = true
 	e.roundsRun++
+	if e.tr != nil {
+		now := e.simu.Now()
+		e.roundStart = now
+		// Counter tracks sampled once per launched round.
+		e.counter(now, "kv_blocks_used", float64(e.pool.UsedBlocks()))
+		e.counter(now, "queue_depth", float64(e.queue.Len()))
+		e.counter(now, "batch_size", float64(len(rd.items)))
+		e.counter(now, "running", float64(len(e.running)))
+	}
 	mbs := e.cb.Form(rd.items, e.depth)
 	e.pipe.RunRound(mbs, func() { e.finishRound(rd.items) })
 	return true
+}
+
+func (e *Engine) counter(now sim.Time, name string, v float64) {
+	e.tr.Emit(obs.Event{Phase: obs.PhaseCounter, Time: now, Cat: obs.CatEngine,
+		Name: name, Group: e.groupID, Req: obs.ReqNone, Value: v})
 }
 
 func (e *Engine) startRound() {
@@ -617,7 +678,19 @@ func (e *Engine) startRound() {
 	defer func() { e.scheduling = false }()
 	rd := &round{}
 	for _, st := range e.stages {
-		if !st.run(e, rd) {
+		ok := st.run(e, rd)
+		if e.tr != nil {
+			// One instant per stage, on the stage's own thread row, so
+			// Perfetto shows the pipeline's shape round by round.
+			e.tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: e.simu.Now(),
+				Cat: obs.CatEngine, Name: st.name, Group: e.groupID,
+				Track: "stage/" + st.name, Req: obs.ReqNone,
+				Args: [2]obs.Arg{
+					{Key: "queued", Val: int64(e.queue.Len())},
+					{Key: "running", Val: int64(len(e.running))},
+				}})
+		}
+		if !ok {
 			return
 		}
 	}
@@ -639,6 +712,9 @@ func (e *Engine) finishRound(items []batching.Item) {
 			if r.Generated > before {
 				tokens++
 			}
+			if e.role != RolePrefill && !r.InPrefill() && !r.Done() {
+				e.rt.Transition(now, r.ID, "decode", e.groupID)
+			}
 			if e.role == RolePrefill && !r.InPrefill() && !r.Done() {
 				// The prefill is complete but decode belongs to
 				// another pool: the policy stalls the request and
@@ -653,6 +729,7 @@ func (e *Engine) finishRound(items []batching.Item) {
 				e.col.ObserveStageWait(metrics.StageDecodeQueue, now.Sub(ts).Seconds())
 				delete(e.decodeReady, r.ID)
 			}
+			e.rt.Transition(now, r.ID, "decode", e.groupID)
 			r.AdvanceDecode(now)
 			tokens++
 		}
@@ -662,6 +739,15 @@ func (e *Engine) finishRound(items []batching.Item) {
 	}
 	if tokens > 0 {
 		e.col.EmitTokens(now, tokens)
+	}
+	if e.tr != nil {
+		e.tr.Emit(obs.Event{Phase: obs.PhaseComplete, Time: e.roundStart,
+			Dur: now.Sub(e.roundStart), Cat: obs.CatEngine, Name: "round",
+			Group: e.groupID, Track: "engine", Req: obs.ReqNone,
+			Args: [2]obs.Arg{
+				{Key: "items", Val: int64(len(items))},
+				{Key: "tokens", Val: int64(tokens)},
+			}})
 	}
 	e.executing = false
 	if e.closed {
@@ -682,6 +768,7 @@ func (e *Engine) finishRequest(r *request.Request, now sim.Time) {
 		r.Seq = nil
 	}
 	r.SetState(request.StateFinished)
+	e.rt.End(now, r.ID)
 	e.col.Finish(metrics.RequestRecord{
 		ID:           r.ID,
 		Arrival:      r.Arrival,

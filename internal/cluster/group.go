@@ -71,6 +71,9 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 	if cl.PrefixCaching {
 		g.pool.EnableSharing(cl.cacheEvict)
 	}
+	if cl.tracer != nil {
+		g.pool.SetTracer(cl.tracer, cl.Sim.Now, id)
+	}
 
 	stages := make([]*pipeline.Stage, len(insts))
 	for i, in := range insts {
@@ -92,6 +95,8 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 		Depth:         len(insts),
 		PrefixCaching: cl.PrefixCaching,
 		RetryDelay:    cl.retryRoundDelay,
+		Tracer:        cl.tracer,
+		Req:           cl.reqTrack,
 		Callbacks: engine.Callbacks{
 			BeforeAdmit:    func() { cl.Policy.BeforeAdmit(g) },
 			HandlePressure: func(need int) bool { return cl.Policy.HandlePressure(g, need) },

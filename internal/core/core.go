@@ -16,6 +16,7 @@ import (
 	"kunserve/internal/cluster"
 	"kunserve/internal/costmodel"
 	"kunserve/internal/instance"
+	"kunserve/internal/obs"
 	"kunserve/internal/sim"
 )
 
@@ -146,6 +147,23 @@ func (p *Policy) countEvents(kind string) int {
 		}
 	}
 	return n
+}
+
+// traceEvent emits a completed reconfiguration as a duration slice on the
+// cluster's reconfig track. Called once per event, when its End is set.
+func (p *Policy) traceEvent(c *cluster.Cluster, eventIdx int) {
+	tr := c.Tracer()
+	if tr == nil {
+		return
+	}
+	ev := p.events[eventIdx]
+	tr.Emit(obs.Event{Phase: obs.PhaseComplete, Time: ev.Start,
+		Dur: ev.End.Sub(ev.Start), Cat: obs.CatCore, Name: ev.Kind,
+		Group: obs.GroupCluster, Track: "reconfig", Req: obs.ReqNone,
+		Args: [2]obs.Arg{
+			{Key: "freed_bytes", Val: ev.FreedBytes},
+			{Key: "groups", Val: int64(ev.Groups)},
+		}})
 }
 
 // CostModel returns the fitted Eq. 1 model (available after Setup).

@@ -94,6 +94,7 @@ func (p *Policy) maybeDrop(c *cluster.Cluster) bool {
 				p.events[eventIdx].End = c.Sim.Now()
 				p.events[eventIdx].Groups = len(c.Groups())
 				p.reconfiguring = false
+				p.traceEvent(c, eventIdx)
 			}
 		})
 	}

@@ -159,6 +159,7 @@ func (p *Policy) splitRestoredGroup(c *cluster.Cluster, g *cluster.Group, eventI
 		p.events[eventIdx].End = c.Sim.Now()
 		p.events[eventIdx].Groups = len(c.Groups())
 		p.reconfiguring = false
+		p.traceEvent(c, eventIdx)
 	})
 }
 

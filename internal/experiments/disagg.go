@@ -131,6 +131,7 @@ func ExperimentDisagg(cfg Config) (*DisaggResult, error) {
 	}
 	var metas []cellMeta
 	set := runner.NewSet(cfg.Parallel)
+	set.Obs = cfg.TraceSink
 	pols := make([]*baselines.Disagg, 0)
 	for _, load := range DisaggLoadPoints {
 		loadCfg := cfg

@@ -19,6 +19,7 @@ import (
 	"kunserve/internal/gpu"
 	"kunserve/internal/kvcache"
 	"kunserve/internal/model"
+	"kunserve/internal/obs"
 	"kunserve/internal/runner"
 	"kunserve/internal/sched"
 	"kunserve/internal/sim"
@@ -115,6 +116,10 @@ type Config struct {
 	// each simulation is a self-contained deterministic world, and the
 	// runner returns results in submission order.
 	Parallel int
+	// TraceSink, when set, collects a per-cell observability trace from
+	// every simulation this config runs (the CLI's -trace flag exports it
+	// as Chrome trace-event JSON). Nil — the default — disables tracing.
+	TraceSink *obs.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -330,6 +335,7 @@ type cellDef struct {
 func (c Config) runMatrix(tr *workload.Trace, defs []cellDef) ([]runner.Result, error) {
 	cfg := c.withDefaults()
 	set := runner.NewSet(cfg.Parallel)
+	set.Obs = cfg.TraceSink
 	for _, d := range defs {
 		set.Add(runner.Cell{
 			Key:       d.key,
@@ -352,9 +358,13 @@ func (c Config) Run(s System, tr *workload.Trace) (*cluster.Cluster, error) {
 // set.
 func (c Config) RunPolicy(pol cluster.Policy, tr *workload.Trace) (*cluster.Cluster, error) {
 	cfg := c.withDefaults()
+	cc := cfg.clusterConfig(tr)
+	if cfg.TraceSink != nil {
+		cc.Tracer = cfg.TraceSink.Recorder(pol.Name())
+	}
 	res := runner.Run(runner.Cell{
 		Key:       pol.Name(),
-		Cluster:   cfg.clusterConfig(tr),
+		Cluster:   cc,
 		NewPolicy: func() cluster.Policy { return pol },
 		Trace:     tr,
 		Horizon:   tr.Duration().Add(cfg.HorizonSlack),

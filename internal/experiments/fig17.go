@@ -63,6 +63,7 @@ func Figure17(cfg Config) (*Figure17Result, error) {
 	// very overload this figure measures. (No-op without a spec, where
 	// provisioning derives from BaseRPS/dataset regardless of trace.)
 	set := runner.NewSet(cfg.Parallel)
+	set.Obs = cfg.TraceSink
 	for _, d := range defs {
 		set.Add(runner.Cell{
 			Key:       d.key,

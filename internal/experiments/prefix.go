@@ -102,6 +102,7 @@ func ExperimentPrefix(cfg Config) (*PrefixResult, error) {
 	}
 	res := &PrefixResult{SpecName: base.Name, System: SysKunServe}
 	set := runner.NewSet(cfg.Parallel)
+	set.Obs = cfg.TraceSink
 	type cellMeta struct {
 		ratio  float64
 		policy string

@@ -116,6 +116,7 @@ func ExperimentSLO(cfg Config) (*SLOResult, error) {
 		Disciplines: SLODisciplines,
 	}
 	set := runner.NewSet(cfg.Parallel)
+	set.Obs = cfg.TraceSink
 	for _, d := range SLODisciplines {
 		dcfg := cfg
 		dcfg.Queue = d

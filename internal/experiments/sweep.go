@@ -142,6 +142,7 @@ func Sweep(cfg Config, param string, values []float64, systems []System) (*Sweep
 		systems = AllSystems()
 	}
 	set := runner.NewSet(cfg.withDefaults().Parallel)
+	set.Obs = cfg.TraceSink
 	type cellMeta struct {
 		value float64
 		sys   System

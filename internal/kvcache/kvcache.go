@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+
+	"kunserve/internal/obs"
+	"kunserve/internal/sim"
 )
 
 // EvictPolicy orders the freed-but-cached block list for reclamation.
@@ -143,6 +146,13 @@ type Pool struct {
 	tick       uint64
 
 	stats Stats
+
+	// tr/traceNow/traceGroup carry the observability hookup (SetTracer).
+	// The pool has no clock of its own, so the owner supplies one; tr nil
+	// (the default) keeps every allocation path trace-free.
+	tr         obs.Tracer
+	traceNow   func() sim.Time
+	traceGroup int
 }
 
 // NewPool creates a pool of totalBlocks blocks of blockTokens tokens each.
@@ -166,6 +176,25 @@ func (p *Pool) EnableSharing(policy EvictPolicy) {
 	if p.index == nil {
 		p.index = make(map[uint64]*Block)
 	}
+}
+
+// SetTracer attaches an observability tracer to the pool. now supplies the
+// simulation clock (the pool itself is clock-free) and group labels the
+// emitted events with the owning serving group.
+func (p *Pool) SetTracer(tr obs.Tracer, now func() sim.Time, group int) {
+	p.tr = tr
+	p.traceNow = now
+	p.traceGroup = group
+}
+
+// trace emits one kvcache instant when tracing is on.
+func (p *Pool) trace(name string, args [2]obs.Arg) {
+	if p.tr == nil {
+		return
+	}
+	p.tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: p.traceNow(),
+		Cat: obs.CatKVCache, Name: name, Group: p.traceGroup,
+		Track: "kvcache", Req: obs.ReqNone, Args: args})
 }
 
 // SharingEnabled reports whether prefix sharing is on.
@@ -320,6 +349,11 @@ func (p *Pool) evictOne(shrink bool) *Block {
 	} else {
 		p.stats.Evictions++
 	}
+	var sh int64
+	if shrink {
+		sh = 1
+	}
+	p.trace("evict", [2]obs.Arg{{Key: "shrink", Val: sh}})
 	return b
 }
 
@@ -508,6 +542,9 @@ func (p *Pool) NewSeq(tokens int) (*Seq, error) {
 	}
 	s.tokens = tokens
 	p.seqs++
+	p.trace("alloc", [2]obs.Arg{
+		{Key: "tokens", Val: int64(tokens)},
+		{Key: "blocks", Val: int64(len(s.blocks))}})
 	return s, nil
 }
 
@@ -532,6 +569,12 @@ func (p *Pool) NewSeqCached(pfx Prefix) (*Seq, int, error) {
 		s.tokens = tokens
 	}
 	p.seqs++
+	p.trace("alloc", [2]obs.Arg{{Key: "tokens", Val: int64(s.tokens)}})
+	if s.tokens > 0 {
+		p.trace("hit", [2]obs.Arg{
+			{Key: "tokens", Val: int64(s.tokens)},
+			{Key: "blocks", Val: int64(len(s.blocks))}})
+	}
 	return s, s.tokens, nil
 }
 
@@ -605,6 +648,7 @@ func (s *Seq) fill(filled, n int) error {
 			s.blocks[len(s.blocks)-1] = nb
 			tail = nb
 			p.stats.CoWCopies++
+			p.trace("cow", [2]obs.Arg{{Key: "filled", Val: int64(nb.filled)}})
 		} else if tail.hash != 0 {
 			// Sole holder writing past the shared span: the content
 			// diverges, so the block leaves the index.
@@ -715,6 +759,7 @@ func (s *Seq) SwapOut() error {
 	s.blocks = nil
 	s.published = 0
 	s.swapped = true
+	p.trace("swap_out", [2]obs.Arg{{Key: "tokens", Val: int64(s.tokens)}})
 	return nil
 }
 
@@ -744,6 +789,9 @@ func (s *Seq) SwapIn() error {
 		panic("kvcache: fill after fit check: " + err.Error())
 	}
 	s.swapped = false
+	p.trace("swap_in", [2]obs.Arg{
+		{Key: "tokens", Val: int64(s.tokens)},
+		{Key: "cached", Val: int64(cached)}})
 	return nil
 }
 

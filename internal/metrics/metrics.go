@@ -7,28 +7,87 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"kunserve/internal/sim"
 )
 
 // Dist is an online collection of latency samples in seconds.
+//
+// The zero value stores every sample exactly. NewReservoirDist builds the
+// opt-in bounded-memory variant: a fixed-capacity uniform reservoir
+// (Vitter's Algorithm R) whose percentiles approximate the full stream
+// while Mean and Count stay exact (running sum / counter). The reservoir
+// is seed-deterministic — same seed, same sample order, same contents.
 type Dist struct {
 	samples []float64
 	sorted  bool
+
+	// Reservoir state; rcap == 0 selects the exact default.
+	rcap int
+	seen int64
+	sum  float64
+	rng  *rand.Rand
+}
+
+// NewReservoirDist creates a reservoir-mode distribution keeping at most
+// capacity samples, with all replacement randomness derived from seed.
+func NewReservoirDist(capacity int, seed int64) *Dist {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("metrics: reservoir capacity %d", capacity))
+	}
+	return &Dist{
+		samples: make([]float64, 0, capacity),
+		rcap:    capacity,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
 }
 
 // Add records one sample.
 func (d *Dist) Add(v float64) {
+	if d.rcap > 0 {
+		d.seen++
+		d.sum += v
+		if len(d.samples) < d.rcap {
+			d.samples = append(d.samples, v)
+			d.sorted = false
+			return
+		}
+		// Algorithm R: the i-th sample replaces a uniformly random slot
+		// with probability rcap/i, keeping the reservoir a uniform sample
+		// of everything seen.
+		if j := d.rng.Int63n(d.seen); j < int64(d.rcap) {
+			d.samples[j] = v
+			d.sorted = false
+		}
+		return
+	}
 	d.samples = append(d.samples, v)
 	d.sorted = false
 }
 
-// Count returns the number of samples.
-func (d *Dist) Count() int { return len(d.samples) }
+// Count returns the number of samples observed (exact in both modes).
+func (d *Dist) Count() int {
+	if d.rcap > 0 {
+		return int(d.seen)
+	}
+	return len(d.samples)
+}
 
-// Mean returns the arithmetic mean, or 0 with no samples.
+// Retained returns how many samples are held in memory: Count() in the
+// exact default, at most the capacity in reservoir mode.
+func (d *Dist) Retained() int { return len(d.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples. Exact in both
+// modes: the reservoir keeps a running sum over the full stream.
 func (d *Dist) Mean() float64 {
+	if d.rcap > 0 {
+		if d.seen == 0 {
+			return 0
+		}
+		return d.sum / float64(d.seen)
+	}
 	if len(d.samples) == 0 {
 		return 0
 	}
@@ -396,15 +455,22 @@ func (c *Collector) SLOViolations(refP50TTFT, refP50TPOT float64, scales []float
 // BubbleTracker measures GPU idle ("bubble") time during pipelined
 // execution: the Figure 14 bottom panel. Busy intervals are reported by the
 // executor; everything else inside the tracked span is a bubble.
+//
+// Semantics: the tracked span is [Start's t, end], where end is the latest
+// time seen — the largest busy-interval endpoint or Stop time. The span
+// only grows: a Stop earlier than a recorded busy interval leaves the end
+// at that interval (the executor already proved the GPU was busy then),
+// and busy time outside the span is clamped away rather than counted.
+// Start must precede AddBusy and Stop; both panic otherwise — silently
+// dropping busy time would report phantom bubbles.
 type BubbleTracker struct {
-	started  bool
-	start    sim.Time
-	busy     sim.Duration
-	lastBusy sim.Time
-	end      sim.Time
+	started bool
+	start   sim.Time
+	busy    sim.Duration
+	end     sim.Time
 }
 
-// Start begins tracking at t.
+// Start begins tracking at t, resetting any prior span.
 func (b *BubbleTracker) Start(t sim.Time) {
 	b.started = true
 	b.start = t
@@ -412,9 +478,18 @@ func (b *BubbleTracker) Start(t sim.Time) {
 	b.busy = 0
 }
 
-// AddBusy records a busy interval [from, to).
+// AddBusy records a busy interval [from, to). The part before the span
+// start does not count (the tracker only measures its own span), and
+// degenerate intervals (to <= from after clamping) are ignored. Calling
+// AddBusy before Start panics.
 func (b *BubbleTracker) AddBusy(from, to sim.Time) {
-	if !b.started || to <= from {
+	if !b.started {
+		panic("metrics: BubbleTracker.AddBusy before Start")
+	}
+	if from < b.start {
+		from = b.start
+	}
+	if to <= from {
 		return
 	}
 	b.busy += to.Sub(from)
@@ -423,8 +498,14 @@ func (b *BubbleTracker) AddBusy(from, to sim.Time) {
 	}
 }
 
-// Stop closes the tracked span at t.
+// Stop closes the tracked span at t. The span never shrinks: a t earlier
+// than the latest recorded busy interval (or earlier than Start) leaves
+// the end where the evidence already put it. Calling Stop before Start
+// panics.
 func (b *BubbleTracker) Stop(t sim.Time) {
+	if !b.started {
+		panic("metrics: BubbleTracker.Stop before Start")
+	}
 	if t > b.end {
 		b.end = t
 	}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"reflect"
 	"sort"
 	"testing"
@@ -465,6 +466,206 @@ func TestStageWaits(t *testing.T) {
 	}
 	if c.StageWaits[StageDecodeQueue] != nil {
 		t.Error("unobserved stage materialized")
+	}
+}
+
+func TestBubbleTrackerPanicsBeforeStart(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s before Start did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddBusy", func() {
+		var b BubbleTracker
+		b.AddBusy(0, sim.FromSeconds(1))
+	})
+	mustPanic("Stop", func() {
+		var b BubbleTracker
+		b.Stop(sim.FromSeconds(1))
+	})
+}
+
+func TestBubbleTrackerClampsEarlyBusy(t *testing.T) {
+	var b BubbleTracker
+	b.Start(sim.FromSeconds(10))
+	// Busy time before the span start is clamped away: only [10,12) counts.
+	b.AddBusy(sim.FromSeconds(5), sim.FromSeconds(12))
+	b.Stop(sim.FromSeconds(20))
+	if got := b.BubbleRatio(); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("ratio = %v, want 0.8 (2s busy over 10s span)", got)
+	}
+	// An interval entirely before the span clamps to nothing at all.
+	b.AddBusy(0, sim.FromSeconds(10))
+	if got := b.BubbleRatio(); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("ratio moved on pre-span busy: %v", got)
+	}
+}
+
+func TestBubbleTrackerSpanNeverShrinks(t *testing.T) {
+	var b BubbleTracker
+	b.Start(0)
+	b.AddBusy(0, sim.FromSeconds(6))
+	// A Stop earlier than the latest busy evidence leaves the end at 6s:
+	// the executor already proved the GPU was busy then.
+	b.Stop(sim.FromSeconds(3))
+	if got := b.BubbleRatio(); got != 0 {
+		t.Fatalf("ratio = %v, want 0 over the [0,6s] span", got)
+	}
+	// A later Stop still extends it.
+	b.Stop(sim.FromSeconds(12))
+	if got := b.BubbleRatio(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("ratio = %v, want 0.5 over [0,12s]", got)
+	}
+}
+
+func TestReservoirDistBelowCapacityExact(t *testing.T) {
+	d := NewReservoirDist(100, 1)
+	for _, v := range []float64{3, 1, 2, 5, 4} {
+		d.Add(v)
+	}
+	// Under capacity the reservoir holds the full stream: every stat exact.
+	if d.Count() != 5 || d.Retained() != 5 {
+		t.Fatalf("count/retained = %d/%d", d.Count(), d.Retained())
+	}
+	if d.Mean() != 3 || d.Percentile(50) != 3 || d.Max() != 5 {
+		t.Fatalf("stats = mean %v p50 %v max %v", d.Mean(), d.Percentile(50), d.Max())
+	}
+}
+
+func TestReservoirDistBoundedAndSeedDeterministic(t *testing.T) {
+	const capacity = 512
+	a := NewReservoirDist(capacity, 42)
+	b := NewReservoirDist(capacity, 42)
+	c := NewReservoirDist(capacity, 7)
+	rng := rand.New(rand.NewSource(9))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		a.Add(v)
+		b.Add(v)
+		c.Add(v)
+	}
+	if a.Count() != n {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Retained() != capacity {
+		t.Fatalf("retained = %d, want capacity %d", a.Retained(), capacity)
+	}
+	differs := false
+	for _, p := range []float64{50, 90, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Errorf("same seed, different p%.0f: %v vs %v", p, a.Percentile(p), b.Percentile(p))
+		}
+		if a.Percentile(p) != c.Percentile(p) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical reservoirs")
+	}
+}
+
+func TestReservoirDistPercentileError(t *testing.T) {
+	const n = 1_000_000
+	exact := &Dist{samples: make([]float64, 0, n)}
+	res := NewReservoirDist(4096, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		v := rng.ExpFloat64()
+		exact.Add(v)
+		res.Add(v)
+	}
+	if res.Count() != n || res.Retained() != 4096 {
+		t.Fatalf("count/retained = %d/%d", res.Count(), res.Retained())
+	}
+	// The running sum adds the same values in the same order as the exact
+	// Mean loop does (before any Percentile call sorts it), so the
+	// reservoir mean is bit-identical, not merely close.
+	if res.Mean() != exact.Mean() {
+		t.Errorf("reservoir mean %v != exact %v", res.Mean(), exact.Mean())
+	}
+	// A 4096-sample uniform reservoir of 1e6 Exp(1) draws lands within a
+	// few percent of the exact quantiles; 10% is a loose deterministic
+	// bound (fixed seeds — this is not a flaky statistical test).
+	for _, p := range []float64{50, 90, 99} {
+		e, a := exact.Percentile(p), res.Percentile(p)
+		if rel := math.Abs(a-e) / e; rel > 0.10 {
+			t.Errorf("p%.0f: reservoir %v vs exact %v (rel err %.3f)", p, a, e, rel)
+		}
+	}
+}
+
+func TestReservoirDistCapacityPanics(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d did not panic", capacity)
+				}
+			}()
+			NewReservoirDist(capacity, 1)
+		}()
+	}
+}
+
+func TestStageWaitsUnknownLabels(t *testing.T) {
+	c := NewCollector(sim.Second)
+	// Labels outside the Stage* constants are first-class: the map is
+	// open-ended and StageNames reports whatever was observed, sorted.
+	c.ObserveStageWait("warmup", 0.25)
+	c.ObserveStageWait(StageDecodeQueue, 1.5)
+	c.ObserveStageWait("custom_stage", 2.0)
+	want := []string{"custom_stage", StageDecodeQueue, "warmup"}
+	if got := c.StageNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("StageNames = %v, want %v", got, want)
+	}
+	if d := c.StageWaits["warmup"]; d == nil || d.Count() != 1 {
+		t.Error("unknown label not recorded")
+	}
+}
+
+func TestStageWaitsOrderInsensitive(t *testing.T) {
+	stages := []string{StageKVTransfer, StagePrefillQueue, StageDecodeQueue, StageHandoffPending}
+	forward := NewCollector(sim.Second)
+	backward := NewCollector(sim.Second)
+	for i, s := range stages {
+		forward.ObserveStageWait(s, float64(i))
+		backward.ObserveStageWait(stages[len(stages)-1-i], float64(i))
+	}
+	if !reflect.DeepEqual(forward.StageNames(), backward.StageNames()) {
+		t.Fatalf("StageNames depends on observation order: %v vs %v",
+			forward.StageNames(), backward.StageNames())
+	}
+	if !sort.StringsAreSorted(forward.StageNames()) {
+		t.Fatalf("StageNames not sorted: %v", forward.StageNames())
+	}
+}
+
+func TestStageWaitsIndependentOfPerClass(t *testing.T) {
+	c := NewCollector(sim.Second)
+	c.Finish(RequestRecord{
+		ID: 1, Class: "interactive", Arrival: 0,
+		FirstToken: sim.FromSeconds(0.5), Completed: sim.FromSeconds(2),
+		OutputTokens: 10,
+	})
+	c.ObserveStageWait(StageKVTransfer, 0.5)
+	// The stage map and the per-class maps are disjoint: a class-tagged
+	// Finish must not materialize stage labels, and vice versa.
+	if got := c.ClassNames(); !reflect.DeepEqual(got, []string{"interactive"}) {
+		t.Fatalf("ClassNames = %v", got)
+	}
+	if got := c.StageNames(); !reflect.DeepEqual(got, []string{StageKVTransfer}) {
+		t.Fatalf("StageNames = %v", got)
+	}
+	if c.StageWaits["interactive"] != nil {
+		t.Error("class name leaked into stage map")
+	}
+	if c.ClassTTFT[StageKVTransfer] != nil {
+		t.Error("stage label leaked into class map")
 	}
 }
 

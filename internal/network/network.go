@@ -155,6 +155,12 @@ type BulkTransfer struct {
 	paused    bool
 	inflight  bool
 	cancelled bool
+
+	// OnChunk, when set, fires after each chunk lands with that chunk's
+	// byte count (observability). Set it right after SendChunked returns:
+	// the first chunk's completion is a scheduled event, so no chunk can
+	// land before the caller regains control.
+	OnChunk func(chunkBytes int64)
 }
 
 // SendChunked starts a chunked bulk transfer of totalBytes in chunkBytes
@@ -230,6 +236,9 @@ func (bt *BulkTransfer) next() {
 			return
 		}
 		bt.remaining -= n
+		if bt.OnChunk != nil {
+			bt.OnChunk(n)
+		}
 		bt.next()
 	})
 }

@@ -1,0 +1,179 @@
+// Chrome trace-event / Perfetto export. The output is the JSON object
+// format ({"traceEvents": [...]}) with microsecond timestamps, loadable in
+// ui.perfetto.dev and chrome://tracing.
+//
+// Layout: each traced run (simulation cell) gets a block of process IDs —
+// one pseudo-process for cluster-scope events (dispatch decisions,
+// reconfigurations, monitor counters, per-request lifecycle spans) plus
+// one process per serving group, named "<cellKey>/group<id>". Within a
+// process, Event.Track selects the thread row; rows are numbered in order
+// of first appearance, which is deterministic because events are recorded
+// in emission order.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// pidStride spaces the pid blocks of successive runs. A run uses pid
+// runIdx*pidStride for its cluster process and runIdx*pidStride+1+groupID
+// per group; group IDs only grow by reconfiguration splits, so the stride
+// comfortably exceeds any realistic group count.
+const pidStride = 1000
+
+// jsonEvent is one trace-event record in Chrome's JSON schema.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// process tracks the thread rows of one exported process.
+type process struct {
+	pid     int
+	nextTid int
+	tids    map[string]int
+}
+
+// exporter streams events for one WriteTrace call.
+type exporter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (x *exporter) emit(e jsonEvent) {
+	if x.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		x.err = err
+		return
+	}
+	if !x.first {
+		x.w.WriteString(",\n")
+	}
+	x.first = false
+	_, x.err = x.w.Write(b)
+}
+
+// WriteTrace writes the recorders' merged events as Chrome trace-event
+// JSON. Runs must be in the order their trace should display (the Sink
+// preserves registration order).
+func WriteTrace(w io.Writer, runs []*Recorder) error {
+	x := &exporter{w: bufio.NewWriter(w), first: true}
+	x.w.WriteString("{\"traceEvents\":[\n")
+	for i, run := range runs {
+		exportRun(x, i, run)
+	}
+	if x.err != nil {
+		return x.err
+	}
+	x.w.WriteString("\n]}\n")
+	if err := x.w.Flush(); err != nil {
+		return err
+	}
+	return x.err
+}
+
+// WriteTraceFile writes the trace to path.
+func WriteTraceFile(path string, runs []*Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFile exports the sink's registered runs to path.
+func (s *Sink) WriteFile(path string) error {
+	return WriteTraceFile(path, s.Runs())
+}
+
+func exportRun(x *exporter, runIdx int, run *Recorder) {
+	base := runIdx * pidStride
+	procs := map[int]*process{}
+	// proc lazily creates the process for a group (GroupCluster included)
+	// and emits its naming metadata on first sight.
+	proc := func(group int) *process {
+		p, ok := procs[group]
+		if ok {
+			return p
+		}
+		pid := base
+		name := run.Key() + "/cluster"
+		if group != GroupCluster {
+			pid = base + 1 + group
+			name = fmt.Sprintf("%s/group%d", run.Key(), group)
+		}
+		p = &process{pid: pid, nextTid: 1, tids: map[string]int{}}
+		procs[group] = p
+		x.emit(jsonEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name}})
+		x.emit(jsonEvent{Name: "process_sort_index", Ph: "M", Pid: pid,
+			Args: map[string]any{"sort_index": pid}})
+		return p
+	}
+	tid := func(p *process, track string) int {
+		if track == "" {
+			return 0
+		}
+		t, ok := p.tids[track]
+		if !ok {
+			t = p.nextTid
+			p.nextTid++
+			p.tids[track] = t
+			x.emit(jsonEvent{Name: "thread_name", Ph: "M", Pid: p.pid, Tid: t,
+				Args: map[string]any{"name": track}})
+		}
+		return t
+	}
+	for _, ev := range run.Events() {
+		p := proc(ev.Group)
+		je := jsonEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   string(rune(ev.Phase)),
+			Ts:   float64(ev.Time) / 1e3, // ns -> µs
+			Pid:  p.pid,
+			Tid:  tid(p, ev.Track),
+		}
+		switch ev.Phase {
+		case PhaseComplete:
+			je.Dur = float64(ev.Dur) / 1e3
+		case PhaseCounter:
+			je.Args = map[string]any{"value": ev.Value}
+		case PhaseAsyncBegin, PhaseAsyncEnd:
+			// Async spans key on the request ID; scope them to the run so
+			// same-ID requests of different cells never pair up.
+			je.ID = fmt.Sprintf("r%d.%d", runIdx, ev.Req)
+		}
+		if je.Args == nil && (ev.Args[0].Key != "" || ev.Req != ReqNone && ev.Phase == PhaseInstant) {
+			je.Args = map[string]any{}
+		}
+		for _, a := range ev.Args {
+			if a.Key != "" {
+				je.Args[a.Key] = a.Val
+			}
+		}
+		if ev.Req != ReqNone && ev.Phase == PhaseInstant {
+			je.Args["req"] = ev.Req
+		}
+		x.emit(je)
+	}
+}

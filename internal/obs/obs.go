@@ -1,0 +1,256 @@
+// Package obs is the simulation-time observability layer: a Tracer
+// interface every subsystem publishes structured events to, per-request
+// lifecycle span tracking, and a Chrome trace-event / Perfetto exporter
+// (export.go).
+//
+// Design constraints, in order:
+//
+//  1. Disabled must cost nothing. The tracer is a plain interface held as
+//     nil by default; every emission site guards with `if tr != nil` (or a
+//     nil-receiver-safe ReqTracker method), so the disabled path makes no
+//     allocations, schedules no events, and perturbs no RNG — byte-identical
+//     output to an untraced build.
+//  2. Deterministic when enabled. Events are recorded per simulation cell
+//     in emission order (each cell is single-threaded inside its own
+//     Simulation), and cells register their Recorders with the Sink at
+//     submission time, which is sequential. The merged trace is therefore
+//     identical at any -parallel setting.
+//  3. Flat events. Event is a value struct with a fixed-size argument
+//     array: no maps, no interface{} values, nothing the exporter has to
+//     sort to stay deterministic.
+package obs
+
+import (
+	"sync"
+
+	"kunserve/internal/sim"
+)
+
+// Event categories, one per publishing layer. The trace smoke test asserts
+// a traced run covers several of them.
+const (
+	// CatDispatch marks cluster-level routing decisions.
+	CatDispatch = "dispatch"
+	// CatQueue marks per-group wait-queue enter/leave events.
+	CatQueue = "queue"
+	// CatEngine marks engine stage transitions, round slices, and the
+	// per-round counter samples.
+	CatEngine = "engine"
+	// CatKVCache marks block-pool activity: alloc, prefix hit, CoW copy,
+	// eviction, swap.
+	CatKVCache = "kvcache"
+	// CatCore marks policy-layer memory actions: parameter drop/restore
+	// reconfigurations and preemptions.
+	CatCore = "core"
+	// CatHandoff marks disaggregated prefill→decode KV handoffs.
+	CatHandoff = "handoff"
+	// CatRequest marks per-request lifecycle phase spans (ReqTracker).
+	CatRequest = "request"
+)
+
+// Phase is the Chrome trace-event phase letter.
+type Phase byte
+
+// The phases the exporter understands.
+const (
+	// PhaseInstant is a point event ("i").
+	PhaseInstant Phase = 'i'
+	// PhaseComplete is a duration slice ("X"): Time..Time+Dur.
+	PhaseComplete Phase = 'X'
+	// PhaseCounter is a counter sample ("C") carrying Value.
+	PhaseCounter Phase = 'C'
+	// PhaseAsyncBegin/PhaseAsyncEnd open and close one async span ("b"/"e")
+	// keyed by Req; request lifecycle phases use them.
+	PhaseAsyncBegin Phase = 'b'
+	PhaseAsyncEnd   Phase = 'e'
+)
+
+// Arg is one integer annotation on an event. A zero Key marks an unused
+// slot.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one trace record. It is passed by value so emission allocates
+// nothing beyond what the active Tracer does with it.
+type Event struct {
+	Phase Phase
+	// Time is the event (or slice start) time; Dur is the slice length for
+	// PhaseComplete events.
+	Time sim.Time
+	Dur  sim.Duration
+	// Cat is the publishing layer (Cat* constants); Name the event name.
+	Cat  string
+	Name string
+	// Group is the owning serving group, or GroupCluster for cluster-scope
+	// events (dispatch, reconfigurations, monitor counters).
+	Group int
+	// Track selects the thread row within the group's process row; ""
+	// lands on the default row.
+	Track string
+	// Req is the subject request ID (and the async span key), or ReqNone.
+	Req int
+	// Value carries the sample for PhaseCounter events.
+	Value float64
+	// Args annotate the event; unused slots keep a zero Key.
+	Args [2]Arg
+}
+
+// Sentinels for Event.Group and Event.Req.
+const (
+	// GroupCluster scopes an event to the whole cluster rather than one
+	// serving group.
+	GroupCluster = -1
+	// ReqNone marks an event with no subject request.
+	ReqNone = -1
+)
+
+// Tracer receives events. Implementations must be cheap: Emit runs on the
+// simulation's hot paths. A nil Tracer means tracing is off; every call
+// site nil-checks before emitting.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// Recorder is the standard Tracer: an append-only in-memory event log for
+// one simulation cell. It is not safe for concurrent use — exactly like
+// the Simulation whose events it records.
+type Recorder struct {
+	key    string
+	events []Event
+}
+
+// NewRecorder creates a recorder labeled with the cell key it records.
+func NewRecorder(key string) *Recorder { return &Recorder{key: key} }
+
+// Key returns the cell key.
+func (r *Recorder) Key() string { return r.key }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(ev Event) { r.events = append(r.events, ev) }
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Sink collects the per-cell recorders of one traced CLI invocation.
+// Recorder registration happens at cell-submission time — which the runner
+// performs sequentially — so the registration order, and therefore the
+// merged trace, is identical whatever the execution parallelism. The
+// mutex only guards against misuse; the intended call pattern never
+// contends.
+type Sink struct {
+	mu   sync.Mutex
+	recs []*Recorder
+}
+
+// NewSink creates an empty sink.
+func NewSink() *Sink { return &Sink{} }
+
+// Recorder registers and returns a new recorder for the given cell key.
+func (s *Sink) Recorder(key string) *Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := NewRecorder(key)
+	s.recs = append(s.recs, r)
+	return r
+}
+
+// Runs returns the registered recorders in registration order.
+func (s *Sink) Runs() []*Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Recorder, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Events counts recorded events across all runs.
+func (s *Sink) Events() int {
+	n := 0
+	for _, r := range s.Runs() {
+		n += r.Len()
+	}
+	return n
+}
+
+// ReqTracker turns request lifecycle transitions into paired async
+// begin/end events on a per-request track: at any moment a request has at
+// most one open phase ("queued", "prefill", "decode", "swapped", ...), and
+// Transition closes the open phase before opening the next, so the
+// exported spans tile the request's life without gaps or overlaps.
+//
+// All methods are nil-receiver-safe: an untraced cluster carries a nil
+// *ReqTracker and the call sites stay unguarded.
+type ReqTracker struct {
+	tr   Tracer
+	open map[int]openPhase
+}
+
+type openPhase struct {
+	name  string
+	group int
+}
+
+// NewReqTracker creates a tracker emitting to tr, or nil when tr is nil
+// (tracing off).
+func NewReqTracker(tr Tracer) *ReqTracker {
+	if tr == nil {
+		return nil
+	}
+	return &ReqTracker{tr: tr, open: make(map[int]openPhase)}
+}
+
+// Transition closes req's open phase (if any) and opens the named one,
+// attributed to the given group.
+func (t *ReqTracker) Transition(now sim.Time, req int, phase string, group int) {
+	if t == nil {
+		return
+	}
+	if op, ok := t.open[req]; ok {
+		if op.name == phase && op.group == group {
+			return
+		}
+		t.tr.Emit(Event{Phase: PhaseAsyncEnd, Time: now, Cat: CatRequest,
+			Name: op.name, Group: op.group, Req: req})
+	}
+	t.open[req] = openPhase{name: phase, group: group}
+	t.tr.Emit(Event{Phase: PhaseAsyncBegin, Time: now, Cat: CatRequest,
+		Name: phase, Group: group, Req: req})
+}
+
+// End closes req's open phase (request completed or left the traced
+// world). Ending an already-closed request is a no-op.
+func (t *ReqTracker) End(now sim.Time, req int) {
+	if t == nil {
+		return
+	}
+	op, ok := t.open[req]
+	if !ok {
+		return
+	}
+	delete(t.open, req)
+	t.tr.Emit(Event{Phase: PhaseAsyncEnd, Time: now, Cat: CatRequest,
+		Name: op.name, Group: op.group, Req: req})
+}
+
+// Instant emits a point event on the request's track (preemption markers).
+func (t *ReqTracker) Instant(now sim.Time, req int, name string, group int) {
+	if t == nil {
+		return
+	}
+	t.tr.Emit(Event{Phase: PhaseInstant, Time: now, Cat: CatRequest,
+		Name: name, Group: group, Req: req})
+}
+
+// Open returns the request's currently open phase name ("" when none) —
+// diagnostics and tests.
+func (t *ReqTracker) Open(req int) string {
+	if t == nil {
+		return ""
+	}
+	return t.open[req].name
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"kunserve/internal/sim"
+)
+
+func TestRecorderAppendsInOrder(t *testing.T) {
+	r := NewRecorder("cell-a")
+	if r.Key() != "cell-a" || r.Len() != 0 {
+		t.Fatal("fresh recorder")
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Phase: PhaseInstant, Time: sim.Time(i), Cat: CatQueue, Name: "e", Group: 0, Req: i})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i, ev := range r.Events() {
+		if ev.Req != i {
+			t.Fatalf("event %d out of order: req %d", i, ev.Req)
+		}
+	}
+}
+
+func TestSinkPreservesRegistrationOrder(t *testing.T) {
+	s := NewSink()
+	keys := []string{"c", "a", "b"}
+	for _, k := range keys {
+		s.Recorder(k).Emit(Event{Phase: PhaseInstant, Cat: CatDispatch, Name: "x", Group: GroupCluster, Req: ReqNone})
+	}
+	runs := s.Runs()
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for i, r := range runs {
+		// Registration order, NOT sorted order: the registration sequence
+		// is what makes traces parallelism-independent.
+		if r.Key() != keys[i] {
+			t.Fatalf("run %d = %q, want %q", i, r.Key(), keys[i])
+		}
+	}
+	if s.Events() != 3 {
+		t.Fatalf("events = %d", s.Events())
+	}
+}
+
+func TestReqTrackerNilSafe(t *testing.T) {
+	var rt *ReqTracker
+	if NewReqTracker(nil) != nil {
+		t.Fatal("NewReqTracker(nil) should stay nil")
+	}
+	// Every method must be a no-op on the nil receiver.
+	rt.Transition(0, 1, "queued", 0)
+	rt.End(0, 1)
+	rt.Instant(0, 1, "preempt", 0)
+	if rt.Open(1) != "" {
+		t.Fatal("nil tracker open phase")
+	}
+}
+
+func TestReqTrackerTilesLifecycle(t *testing.T) {
+	r := NewRecorder("k")
+	rt := NewReqTracker(r)
+	rt.Transition(sim.FromSeconds(1), 7, "queued", 0)
+	rt.Transition(sim.FromSeconds(2), 7, "prefill", 0)
+	// Re-declaring the same phase+group is a no-op (requeue of an
+	// already-queued request, repeated decode rounds).
+	rt.Transition(sim.FromSeconds(2.5), 7, "prefill", 0)
+	rt.Transition(sim.FromSeconds(3), 7, "decode", 1)
+	rt.End(sim.FromSeconds(4), 7)
+	rt.End(sim.FromSeconds(5), 7) // double-End is a no-op
+
+	type span struct {
+		ph    Phase
+		name  string
+		group int
+	}
+	want := []span{
+		{PhaseAsyncBegin, "queued", 0},
+		{PhaseAsyncEnd, "queued", 0},
+		{PhaseAsyncBegin, "prefill", 0},
+		{PhaseAsyncEnd, "prefill", 0},
+		{PhaseAsyncBegin, "decode", 1},
+		{PhaseAsyncEnd, "decode", 1},
+	}
+	evs := r.Events()
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, w := range want {
+		ev := evs[i]
+		if ev.Phase != w.ph || ev.Name != w.name || ev.Group != w.group || ev.Req != 7 || ev.Cat != CatRequest {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, w)
+		}
+	}
+	// Begin/end pairs must tile: each end carries the begin's timestamp's
+	// successor transition time, and phases never overlap.
+	if evs[1].Time != evs[2].Time || evs[3].Time != evs[4].Time {
+		t.Error("phase spans do not tile")
+	}
+	if rt.Open(7) != "" {
+		t.Fatalf("open after End: %q", rt.Open(7))
+	}
+}
+
+func TestReqTrackerIndependentRequests(t *testing.T) {
+	r := NewRecorder("k")
+	rt := NewReqTracker(r)
+	rt.Transition(0, 1, "queued", 0)
+	rt.Transition(0, 2, "prefill", 0)
+	if rt.Open(1) != "queued" || rt.Open(2) != "prefill" {
+		t.Fatalf("open = %q/%q", rt.Open(1), rt.Open(2))
+	}
+	rt.End(0, 1)
+	if rt.Open(1) != "" || rt.Open(2) != "prefill" {
+		t.Fatal("End leaked across requests")
+	}
+}
+
+// traceFile mirrors the exported JSON for unmarshalling in tests.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		ID   string         `json:"id"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func sampleRuns() []*Recorder {
+	a := NewRecorder("cell-a")
+	a.Emit(Event{Phase: PhaseInstant, Time: 1000, Cat: CatDispatch, Name: "route",
+		Group: GroupCluster, Track: "dispatch", Req: 3,
+		Args: [2]Arg{{Key: "group", Val: 2}}})
+	a.Emit(Event{Phase: PhaseComplete, Time: 2000, Dur: 500, Cat: CatEngine,
+		Name: "round", Group: 0, Track: "engine", Req: ReqNone,
+		Args: [2]Arg{{Key: "items", Val: 4}, {Key: "tokens", Val: 64}}})
+	a.Emit(Event{Phase: PhaseCounter, Time: 2000, Cat: CatEngine, Name: "queue_depth",
+		Group: 0, Track: "queue_depth", Req: ReqNone, Value: 7})
+	a.Emit(Event{Phase: PhaseAsyncBegin, Time: 1000, Cat: CatRequest, Name: "queued",
+		Group: GroupCluster, Req: 3})
+	a.Emit(Event{Phase: PhaseAsyncEnd, Time: 3000, Cat: CatRequest, Name: "queued",
+		Group: GroupCluster, Req: 3})
+	b := NewRecorder("cell-b")
+	b.Emit(Event{Phase: PhaseAsyncBegin, Time: 500, Cat: CatRequest, Name: "queued",
+		Group: GroupCluster, Req: 3})
+	return []*Recorder{a, b}
+}
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, sampleRuns()); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	byPhase := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		byPhase[ev.Ph]++
+	}
+	// 2 runs × (process_name + process_sort_index) per process; cell-a has
+	// two processes (cluster + group0), cell-b one.
+	if byPhase["M"] < 6 {
+		t.Fatalf("metadata events = %d, want >= 6 (%v)", byPhase["M"], byPhase)
+	}
+	for _, ph := range []string{"i", "X", "C", "b", "e"} {
+		if byPhase[ph] == 0 {
+			t.Errorf("no %q events exported (%v)", ph, byPhase)
+		}
+	}
+
+	names := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			names[ev.Args["name"].(string)] = true
+		}
+		switch {
+		case ev.Ph == "X":
+			if ev.Ts != 2 || ev.Dur != 0.5 {
+				t.Errorf("complete slice ts/dur = %v/%v µs, want 2/0.5", ev.Ts, ev.Dur)
+			}
+			if ev.Args["items"] != float64(4) || ev.Args["tokens"] != float64(64) {
+				t.Errorf("slice args = %v", ev.Args)
+			}
+		case ev.Ph == "C":
+			if ev.Args["value"] != float64(7) {
+				t.Errorf("counter args = %v", ev.Args)
+			}
+		case ev.Ph == "i":
+			if ev.Args["req"] != float64(3) || ev.Args["group"] != float64(2) {
+				t.Errorf("instant args = %v", ev.Args)
+			}
+		case ev.Ph == "b" && ev.Pid == 0:
+			// cell-a's request span: run 0, request 3.
+			if ev.ID != "r0.3" {
+				t.Errorf("async id = %q", ev.ID)
+			}
+		case ev.Ph == "b" && ev.Pid == pidStride:
+			// cell-b reuses request ID 3; its span key must not collide.
+			if ev.ID != "r1.3" {
+				t.Errorf("run-1 async id = %q", ev.ID)
+			}
+		}
+	}
+	for _, want := range []string{"cell-a/cluster", "cell-a/group0", "cell-b/cluster"} {
+		if !names[want] {
+			t.Errorf("missing process %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestWriteTraceDeterministic(t *testing.T) {
+	runs := sampleRuns()
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("repeated export of the same runs differs")
+	}
+}
+
+func TestWriteTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(tf.TraceEvents))
+	}
+}

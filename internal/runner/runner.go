@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"kunserve/internal/cluster"
+	"kunserve/internal/obs"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 )
@@ -93,6 +94,12 @@ func Run(c Cell) (res Result) {
 type Set struct {
 	parallel int
 	cells    []Cell
+
+	// Obs, when set before any Add, attaches a per-cell trace recorder to
+	// every added cell (keyed by Cell.Key). Recorders register at Add time
+	// — which is sequential — so the sink's run order, and therefore the
+	// exported trace, is identical at any parallelism.
+	Obs *obs.Sink
 }
 
 // NewSet creates a run set with the given worker bound; parallel < 1 selects
@@ -105,7 +112,12 @@ func NewSet(parallel int) *Set {
 }
 
 // Add appends a cell to the matrix. Results come back in Add order.
-func (s *Set) Add(c Cell) { s.cells = append(s.cells, c) }
+func (s *Set) Add(c Cell) {
+	if s.Obs != nil && c.Cluster.Tracer == nil {
+		c.Cluster.Tracer = s.Obs.Recorder(c.Key)
+	}
+	s.cells = append(s.cells, c)
+}
 
 // Len returns the number of submitted cells.
 func (s *Set) Len() int { return len(s.cells) }
