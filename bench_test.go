@@ -358,6 +358,26 @@ func BenchmarkExperimentDisagg(b *testing.B) {
 	b.ReportMetric(balanced.TransferP99*1000, "p99-xfer-ms")
 }
 
+// BenchmarkScaleFleet prices the cluster-scale streaming path: a small
+// fleet ladder serving a diurnal trace with bounded metrics and lazy
+// arrivals — the -exp scale machinery at benchmark-friendly size.
+func BenchmarkScaleFleet(b *testing.B) {
+	var r *experiments.ScaleResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Quick()
+		cfg.Instances = 8
+		cfg.Duration = 32 * sim.Second
+		r, err = experiments.ExperimentScale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	top := r.Rungs[len(r.Rungs)-1]
+	b.ReportMetric(float64(top.Requests), "top-rung-reqs")
+	b.ReportMetric(top.Systems[len(top.Systems)-1].Throughput, "kunserve-tok/s")
+}
+
 // BenchmarkTracingOverhead runs the same fig2 experiment untraced and
 // traced. The "disabled" case is the guarantee that matters — a nil
 // tracer must cost nothing on the hot paths (acceptance bound: <5% vs an

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|slo|prefix|disagg|all \
+//	kunserve-sim -exp table1|fig2|fig5|fig12|fig13|fig12+13|fig14|fig15|fig16|fig17|slo|prefix|disagg|scale|all \
 //	    [-scale quick|full|clusterb] [-dataset burstgpt|sharegpt|longbench] \
 //	    [-instances N] [-seed N] [-duration SECONDS] [-load MULT] \
-//	    [-parallel N] [-json] [-list-exps] [-sweep key=lo:hi:step] [-spec workload.json] \
+//	    [-parallel N] [-stream] [-json] [-list-exps] [-sweep key=lo:hi:step] [-spec workload.json] \
 //	    [-router least-loaded|round-robin|p2c|least-kv|affinity|queue-depth] \
 //	    [-queue fcfs|priority|edf] [-prefix-caching] [-cache-evict lru|fifo] \
 //	    [-trace out.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -33,10 +33,17 @@
 // shared-prefix workload (the -spec file when given, else a built-in
 // agentic mix); -exp disagg sweeps prefill:decode pool splits x load
 // against the collocated vLLM (DP) and KunServe references, reporting
-// stage-level queueing (prefill wait, KV transfer, decode wait). None of
-// the three is part of "all" so that "all" output stays comparable across
-// versions. -list-exps prints each experiment with its description and
-// exits.
+// stage-level queueing (prefill wait, KV transfer, decode wait); -exp scale
+// runs the cluster-scale streaming sweep (a fleet ladder up to -instances,
+// default 512, each serving an hour-class diurnal trace in bounded-memory
+// mode). None of the four is part of "all" so that "all" output stays
+// comparable across versions. -stream runs any experiment in bounded-memory
+// streaming mode: the collector keeps reservoir samples instead of every
+// record and arrivals enter the event queue lazily, so memory scales with
+// live requests rather than trace length (percentiles become reservoir
+// estimates; off by default, which reproduces full-retention output
+// byte-for-byte). -list-exps prints each experiment with its description
+// and exits.
 //
 // -trace writes a Chrome trace-event / Perfetto JSON record of every
 // simulation the experiment ran (per-request lifecycle spans, dispatch
@@ -82,6 +89,7 @@ var expList = []struct{ name, desc string }{
 	{"slo", "multi-tenant SLO attainment: queue disciplines x systems, per-class goodput"},
 	{"prefix", "prefix caching: share ratio x eviction policy on a shared-prompt mix"},
 	{"disagg", "prefill/decode disaggregation: pool splits x load vs collocated baselines"},
+	{"scale", "cluster-scale streaming sweep: fleet ladder x hour-class diurnal trace, bounded memory"},
 	{"all", "every paper figure (table1 fig2 fig5 fig12+13 fig14 fig15 fig16 fig17)"},
 }
 
@@ -109,6 +117,7 @@ func main() {
 		specFile  = flag.String("spec", "", "workload spec JSON driving the experiment trace")
 		router    = flag.String("router", "", "dispatch router: "+strings.Join(sched.RouterNames, ", ")+" (default least-loaded)")
 		queue     = flag.String("queue", "", "wait-queue discipline: "+strings.Join(sched.DisciplineNames, ", ")+" (default fcfs)")
+		stream    = flag.Bool("stream", false, "bounded-memory streaming mode: reservoir percentiles and lazy arrivals (always on for -exp scale)")
 		prefixOn  = flag.Bool("prefix-caching", false, "enable content-addressed KVCache prefix sharing (default off; off reproduces the identity-free allocator byte-for-byte)")
 		evict     = flag.String("cache-evict", "", "cached-block eviction policy: lru (default), fifo; only meaningful with -prefix-caching")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of every simulation to this file (load it at ui.perfetto.dev)")
@@ -162,10 +171,24 @@ func main() {
 		cfg.LoadMultiplier = *load
 	}
 	cfg.Parallel = *parallel
+	cfg.Stream = *stream
 	cfg.Router = *router
 	cfg.Queue = *queue
 	cfg.PrefixCaching = *prefixOn
 	cfg.CacheEvict = *evict
+	if *exp == "scale" {
+		// The scale sweep targets cluster scale by default: 512 instances
+		// over an hour-class trace, streaming forced on. Explicit
+		// -instances/-duration still win.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["instances"] {
+			cfg.Instances = 512
+		}
+		if !set["duration"] {
+			cfg.Duration = 3600 * sim.Second
+		}
+	}
 	if *tracePath != "" {
 		cfg.TraceSink = obs.NewSink()
 	}
@@ -371,6 +394,12 @@ func runExp(name string, cfg experiments.Config) ([]artifact, error) {
 			return nil, err
 		}
 		return one("disagg", r, func(w io.Writer) { experiments.PrintExperimentDisagg(w, r) }), nil
+	case "scale":
+		r, err := experiments.ExperimentScale(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return one("scale", r, func(w io.Writer) { experiments.PrintExperimentScale(w, r) }), nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -123,14 +123,45 @@ type InferCept struct {
 	swapOutDone map[int]sim.Time
 	// swapIn marks requests whose swap-in transfer is in flight.
 	swapIn map[int]bool
+	// candidates is BeforeAdmit's reusable swap-in scan buffer and scanFn
+	// its persistent collector closure (a per-round literal would allocate).
+	candidates []*request.Request
+	scanFn     func(*request.Request)
+	// swapInFn is the persistent swap-in completion callback; sfree
+	// recycles its per-transfer (group, request) records.
+	swapInFn func(any)
+	sfree    []*swapInRec
+}
+
+// swapInRec carries one in-flight swap-in transfer's completion context.
+type swapInRec struct {
+	g *cluster.Group
+	r *request.Request
 }
 
 // NewInferCept creates the swap policy.
 func NewInferCept() *InferCept {
-	return &InferCept{
+	p := &InferCept{
 		swapOutDone: make(map[int]sim.Time),
 		swapIn:      make(map[int]bool),
 	}
+	p.scanFn = func(r *request.Request) {
+		if r.State() == request.StateSwapped && !p.swapIn[r.ID] {
+			p.candidates = append(p.candidates, r)
+		}
+	}
+	p.swapInFn = func(a any) {
+		s := a.(*swapInRec)
+		g, r := s.g, s.r
+		s.g, s.r = nil, nil
+		p.sfree = append(p.sfree, s)
+		delete(p.swapIn, r.ID)
+		delete(p.swapOutDone, r.ID)
+		if r.State() == request.StateSwapped {
+			g.Unstall(r)
+		}
+	}
+	return p
 }
 
 // Name implements cluster.Policy.
@@ -169,12 +200,9 @@ func (p *InferCept) HandlePressure(g *cluster.Group, need int) bool {
 func (p *InferCept) BeforeAdmit(g *cluster.Group) {
 	c := g.Cluster()
 	now := c.Sim.Now()
-	var candidates []*request.Request
-	for _, r := range g.Running() {
-		if r.State() == request.StateSwapped && !p.swapIn[r.ID] {
-			candidates = append(candidates, r)
-		}
-	}
+	p.candidates = p.candidates[:0]
+	g.EachRunning(p.scanFn)
+	candidates := p.candidates
 	// Oldest (earliest arrival) first.
 	for i := 0; i < len(candidates); i++ {
 		for j := i + 1; j < len(candidates); j++ {
@@ -196,15 +224,17 @@ func (p *InferCept) BeforeAdmit(g *cluster.Group) {
 		p.swapIn[r.ID] = true
 		bytes := kvBytes(g, r.Seq.Tokens())
 		pcie := c.GPU.PCIeBandwidth * float64(c.Model.GPUsPerInstance)
-		r := r
-		c.Sim.After(sim.DurationFromSeconds(float64(bytes)/pcie),
-			fmt.Sprintf("swap-in:%d", r.ID), func() {
-				delete(p.swapIn, r.ID)
-				delete(p.swapOutDone, r.ID)
-				if r.State() == request.StateSwapped {
-					g.Unstall(r)
-				}
-			})
+		var rec *swapInRec
+		if n := len(p.sfree); n > 0 {
+			rec = p.sfree[n-1]
+			p.sfree[n-1] = nil
+			p.sfree = p.sfree[:n-1]
+		} else {
+			rec = &swapInRec{}
+		}
+		rec.g, rec.r = g, r
+		c.Sim.AfterCall(sim.DurationFromSeconds(float64(bytes)/pcie),
+			"swap-in", p.swapInFn, rec)
 	}
 }
 
@@ -219,11 +249,38 @@ type Llumnix struct {
 	// ImbalanceGap triggers proactive rebalancing migration when the
 	// most- and least-loaded groups differ by more than this ratio.
 	ImbalanceGap float64
+	// mfree recycles migration records (and their completion closures)
+	// across the policy's many in-flight transfers.
+	mfree []*migration
+}
+
+// migration is one in-flight KVCache migration. The record and its done
+// closure are recycled via Llumnix.mfree: a migration completes exactly
+// once (the policy never cancels the bulk transfer), so recycling at
+// completion is safe.
+type migration struct {
+	p        *Llumnix
+	src, dst *cluster.Group
+	v        *request.Request
+	done     func()
 }
 
 // NewLlumnix creates the migration policy.
 func NewLlumnix() *Llumnix {
 	return &Llumnix{migrating: make(map[int]bool), ImbalanceGap: 0.25}
+}
+
+func (p *Llumnix) getMigration(src, dst *cluster.Group, v *request.Request) *migration {
+	if n := len(p.mfree); n > 0 {
+		m := p.mfree[n-1]
+		p.mfree[n-1] = nil
+		p.mfree = p.mfree[:n-1]
+		m.src, m.dst, m.v = src, dst, v
+		return m
+	}
+	m := &migration{p: p, src: src, dst: dst, v: v}
+	m.done = m.finish
+	return m
 }
 
 // Name implements cluster.Policy.
@@ -242,15 +299,15 @@ func load(g *cluster.Group) float64 {
 func spareDestination(c *cluster.Cluster, src *cluster.Group, tokens int) *cluster.Group {
 	var best *cluster.Group
 	var bestLoad float64
-	for _, g := range c.Groups() {
+	c.EachGroup(func(g *cluster.Group) {
 		if g == src || !g.Pool().CanFit(tokens) {
-			continue
+			return
 		}
 		l := load(g)
 		if best == nil || l < bestLoad {
 			best, bestLoad = g, l
 		}
-	}
+	})
 	return best
 }
 
@@ -282,48 +339,50 @@ func (p *Llumnix) migrate(src, dst *cluster.Group, v *request.Request) {
 	egress := c.Fabric.Egress(src.Instances()[0].ID)
 	// Chunked so co-located pipelined traffic is not starved.
 	chunk := int64(4 << 20)
-	egress.SendChunked(bytes, chunk, network.PriorityBulk,
-		fmt.Sprintf("migrate:%d", v.ID), func() {
-			delete(p.migrating, v.ID)
-			if v.State() != request.StateMigrating || v.Seq == nil {
-				return // finished or preempted during transfer
-			}
-			moved, err := v.Seq.MoveTo(dst.Pool())
-			src.RemoveRequest(v)
-			if err != nil {
-				// Destination filled up meanwhile: recompute.
-				v.Seq.Free()
-				v.Seq = nil
-				v.ResetForRecompute()
-				v.SetState(request.StateQueued)
-				dst.Enqueue(v)
-				return
-			}
-			v.Seq = moved
-			v.SetState(request.StateRunning)
-			dst.AdoptRunning(v)
-			dst.Wake()
-			src.Wake()
-		})
+	m := p.getMigration(src, dst, v)
+	egress.SendChunked(bytes, chunk, network.PriorityBulk, "migrate", m.done)
+}
+
+// finish lands a completed migration transfer and recycles the record.
+func (m *migration) finish() {
+	p, src, dst, v := m.p, m.src, m.dst, m.v
+	m.src, m.dst, m.v = nil, nil, nil
+	p.mfree = append(p.mfree, m)
+	delete(p.migrating, v.ID)
+	if v.State() != request.StateMigrating || v.Seq == nil {
+		return // finished or preempted during transfer
+	}
+	moved, err := v.Seq.MoveTo(dst.Pool())
+	src.RemoveRequest(v)
+	if err != nil {
+		// Destination filled up meanwhile: recompute.
+		v.Seq.Free()
+		v.Seq = nil
+		v.ResetForRecompute()
+		v.SetState(request.StateQueued)
+		dst.Enqueue(v)
+		return
+	}
+	v.Seq = moved
+	v.SetState(request.StateRunning)
+	dst.AdoptRunning(v)
+	dst.Wake()
+	src.Wake()
 }
 
 // OnTick rebalances proactively: when the spread between the most- and
 // least-loaded groups exceeds ImbalanceGap, one victim migrates.
 func (p *Llumnix) OnTick(c *cluster.Cluster) {
-	groups := c.Groups()
-	if len(groups) < 2 {
-		return
-	}
 	var hi, lo *cluster.Group
-	for _, g := range groups {
+	c.EachGroup(func(g *cluster.Group) {
 		if hi == nil || load(g) > load(hi) {
 			hi = g
 		}
 		if lo == nil || load(g) < load(lo) {
 			lo = g
 		}
-	}
-	if hi == lo || load(hi)-load(lo) < p.ImbalanceGap {
+	})
+	if hi == nil || hi == lo || load(hi)-load(lo) < p.ImbalanceGap {
 		return
 	}
 	v := hi.Victim()

@@ -35,11 +35,16 @@ func (it Item) ChunkWork() gpu.ChunkWork {
 
 // ToChunkWork converts a batch to GPU work descriptors.
 func ToChunkWork(items []Item) []gpu.ChunkWork {
-	out := make([]gpu.ChunkWork, len(items))
-	for i, it := range items {
-		out[i] = it.ChunkWork()
+	return AppendChunkWork(nil, items)
+}
+
+// AppendChunkWork appends a batch's GPU work descriptors to dst, reusing
+// its capacity (hot-path variant of ToChunkWork).
+func AppendChunkWork(dst []gpu.ChunkWork, items []Item) []gpu.ChunkWork {
+	for _, it := range items {
+		dst = append(dst, it.ChunkWork())
 	}
-	return out
+	return dst
 }
 
 // TotalTokens sums the new tokens across items.
@@ -73,10 +78,16 @@ func DefaultBudget() Budget { return Budget{MaxTokens: 2048, MaxSeqs: 1024} }
 // the iteration former only sees (and schedules) the chunks left to
 // compute.
 func FormIteration(decodes, prefills []*request.Request, b Budget) []Item {
+	return AppendIteration(nil, decodes, prefills, b)
+}
+
+// AppendIteration is FormIteration appending into dst, reusing its capacity
+// (hot-path variant: the engine forms every round into one scratch slice).
+func AppendIteration(dst []Item, decodes, prefills []*request.Request, b Budget) []Item {
 	if b.MaxTokens <= 0 {
 		panic(fmt.Sprintf("batching: MaxTokens = %d", b.MaxTokens))
 	}
-	var items []Item
+	items := dst
 	tokens := 0
 	seqs := 0
 	full := func() bool {

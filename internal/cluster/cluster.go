@@ -75,6 +75,19 @@ type Config struct {
 	// allocates or schedules anything, so an untraced run is byte-identical
 	// to a build without the tracing layer.
 	Tracer obs.Tracer
+	// MetricsReservoir, when positive, puts the cluster's collector in
+	// bounded-memory mode: latency distributions become capacity-capped
+	// reservoir samples (seeded from the cluster seed) and per-request
+	// records are not retained — summaries only. Zero (the default) keeps
+	// the exact, unbounded collector.
+	MetricsReservoir int
+	// LazyArrivals schedules each trace arrival from its predecessor's
+	// callback instead of pre-scheduling the whole trace, bounding the
+	// event queue by concurrency instead of trace length. It changes
+	// event sequence numbering — and therefore tie-breaks between
+	// same-timestamp events — so it is reserved for streaming-mode runs,
+	// never the byte-identical default path.
+	LazyArrivals bool
 	// RetryRoundDelay is how long a group sleeps before retrying a
 	// scheduling round in which memory pressure blocked every batch item
 	// and the policy freed nothing synchronously (default 10 ms).
@@ -169,6 +182,18 @@ type Cluster struct {
 	routeCands   []sched.Candidate
 	routeTargets []*Group
 
+	// reqPool recycles finished request structs: live request memory
+	// scales with concurrency, not trace length.
+	reqPool request.Pool
+
+	// lazyArrivals mirrors Config.LazyArrivals.
+	lazyArrivals bool
+
+	// admitFn/tickFn are persistent event callbacks (one closure for the
+	// whole run instead of one per arrival / per monitor tick).
+	admitFn func(arg any)
+	tickFn  func()
+
 	// HostParamReplica reflects §4.4 fault tolerance: parameters are
 	// replicated in host DRAM so restoration always succeeds.
 	HostParamReplica bool
@@ -209,6 +234,16 @@ func New(cfg Config) (*Cluster, error) {
 		newDiscipline:    sched.NewFCFS,
 		tracer:           cfg.Tracer,
 		reqTrack:         obs.NewReqTracker(cfg.Tracer),
+		lazyArrivals:     cfg.LazyArrivals,
+	}
+	c.admitFn = func(arg any) { c.admitArrival(arg.(*workload.Request)) }
+	c.tickFn = c.monitorTick
+	if cfg.MetricsReservoir > 0 {
+		targets := make(map[string]metrics.SLOTarget, len(cfg.SLOClasses))
+		for name, t := range cfg.SLOClasses {
+			targets[name] = metrics.SLOTarget{TTFT: t.TTFT, TBT: t.TBT}
+		}
+		c.Collector.Bound(cfg.MetricsReservoir, cfg.Seed, targets)
 	}
 	if cfg.NewRouter != nil {
 		if c.router = cfg.NewRouter(cfg.Seed); c.router == nil {
@@ -268,6 +303,16 @@ func (c *Cluster) Groups() []*Group {
 	return out
 }
 
+// EachGroup visits the live groups in registration order without
+// allocating the copy Groups returns. fn must not add or remove groups.
+func (c *Cluster) EachGroup(fn func(*Group)) {
+	for _, g := range c.groups {
+		if !g.Closed() {
+			fn(g)
+		}
+	}
+}
+
 // GroupByID finds a live group.
 func (c *Cluster) GroupByID(id int) *Group {
 	for _, g := range c.groups {
@@ -294,7 +339,10 @@ func (c *Cluster) RemoveGroup(g *Group) {
 // Outstanding returns requests dispatched but not yet finished.
 func (c *Cluster) Outstanding() int { return c.outstanding }
 
-func (c *Cluster) requestFinished() { c.outstanding-- }
+func (c *Cluster) requestFinished(r *request.Request) {
+	c.outstanding--
+	c.reqPool.Put(r)
+}
 
 // Router returns the dispatch router in use.
 func (c *Cluster) Router() sched.Router { return c.router }
@@ -444,7 +492,7 @@ func (c *Cluster) monitorTick() {
 		}
 	}
 	if c.outstanding > 0 || !c.horizonReached {
-		c.Sim.After(c.monitorInterval, "monitor", c.monitorTick)
+		c.Sim.After(c.monitorInterval, "monitor", c.tickFn)
 	}
 }
 
@@ -455,30 +503,55 @@ func (c *Cluster) monitorTick() {
 // rather than panicking mid-simulation.
 func (c *Cluster) Serve(tr *workload.Trace, horizon sim.Time) *metrics.Collector {
 	c.outstanding = len(tr.Requests)
-	for _, wr := range tr.Requests {
-		wr := wr
-		c.Sim.At(wr.Arrival, fmt.Sprintf("arrive:%d", wr.ID), func() {
-			r := request.New(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen)
-			r.Client, r.Class = wr.Client, wr.Class
-			if wr.SharedPrefix > 0 {
-				// Clamp so at least the final prompt token is always
-				// computed (engines need its logits even on a full
-				// prefix hit).
-				sp := wr.SharedPrefix
-				if sp >= wr.InputLen {
-					sp = wr.InputLen - 1
-				}
-				r.Prefix = kvcache.Prefix{ID: wr.Client, Tokens: sp}
-			}
-			if err := c.Dispatch(r); err != nil {
-				c.noteDispatchError(err)
-			}
-		})
+	if c.lazyArrivals {
+		// Streaming mode: each arrival schedules its successor, so the
+		// event queue holds O(1) arrival events instead of the whole
+		// trace. Event sequence numbers differ from the eager default,
+		// which reorders same-timestamp ties — that is why the default
+		// (byte-identical) path still pre-schedules everything.
+		c.scheduleArrival(tr, 0)
+	} else {
+		for i := range tr.Requests {
+			wr := &tr.Requests[i]
+			c.Sim.AtCall(wr.Arrival, "arrive", c.admitFn, wr)
+		}
 	}
-	c.Sim.After(c.monitorInterval, "monitor", c.monitorTick)
+	c.Sim.After(c.monitorInterval, "monitor", c.tickFn)
 	c.Sim.RunUntil(horizon)
 	c.horizonReached = true
 	return c.Collector
+}
+
+// scheduleArrival queues trace request i's arrival event; its callback
+// chains the next one (lazy-arrival mode).
+func (c *Cluster) scheduleArrival(tr *workload.Trace, i int) {
+	if i >= len(tr.Requests) {
+		return
+	}
+	wr := &tr.Requests[i]
+	c.Sim.At(wr.Arrival, "arrive", func() {
+		c.scheduleArrival(tr, i+1)
+		c.admitArrival(wr)
+	})
+}
+
+// admitArrival materializes one trace request (through the request pool)
+// and dispatches it.
+func (c *Cluster) admitArrival(wr *workload.Request) {
+	r := c.reqPool.Get(wr.ID, wr.Arrival, wr.InputLen, wr.OutputLen)
+	r.Client, r.Class = wr.Client, wr.Class
+	if wr.SharedPrefix > 0 {
+		// Clamp so at least the final prompt token is always computed
+		// (engines need its logits even on a full prefix hit).
+		sp := wr.SharedPrefix
+		if sp >= wr.InputLen {
+			sp = wr.InputLen - 1
+		}
+		r.Prefix = kvcache.Prefix{ID: wr.Client, Tokens: sp}
+	}
+	if err := c.Dispatch(r); err != nil {
+		c.noteDispatchError(err)
+	}
 }
 
 // TransplantRequests moves extracted requests into a successor group:
@@ -520,6 +593,8 @@ func TransplantRequests(dst *Group, running, waiting []*request.Request, stalled
 	for _, r := range waiting {
 		r.GroupID = dst.ID
 		dst.Queue().Push(r)
+		// Direct discipline pushes bypass Enqueue's demand accounting.
+		dst.exec.AccountQueuedDemand(r)
 	}
 }
 

@@ -22,7 +22,7 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kunserve/internal/batching"
 	"kunserve/internal/kvcache"
@@ -86,8 +86,10 @@ type Callbacks struct {
 	// Form splits one iteration's items into pipeline microbatches.
 	Form func(items []batching.Item, stages int) [][]batching.Item
 	// Finished runs after a request completes and its record is
-	// collected (the cluster decrements its outstanding count).
-	Finished func()
+	// collected (the cluster decrements its outstanding count and may
+	// recycle the request struct — the engine holds no reference past
+	// this call).
+	Finished func(r *request.Request)
 	// Handoff takes over a prefill-role group's completed prefill; it
 	// returns true when the policy accepted the request (stalling it for
 	// the KV transfer). Required for RolePrefill, ignored otherwise.
@@ -153,7 +155,14 @@ type Engine struct {
 	retryDelay    sim.Duration
 
 	running []*request.Request
-	stalled map[int]*request.Request
+	// sortedRunning mirrors running in (Arrival, ID) order so runCollect
+	// never sorts: membership changes (admissions, finishes, preemptions)
+	// are far rarer than scheduling rounds, so keeping the order under
+	// insert/remove beats re-sorting the same permutation every round.
+	// Victim deliberately walks the unsorted running slice — its
+	// tie-breaking depends on admission order.
+	sortedRunning []*request.Request
+	stalled       map[int]*request.Request
 
 	executing  bool
 	scheduling bool // guards re-entrant startRound from policy callbacks
@@ -161,9 +170,13 @@ type Engine struct {
 	onDrained  func()
 	closed     bool
 
-	// lockedRound guards requests whose KV was already reserved this
-	// round against being chosen as preemption victims mid-round.
-	lockedRound map[int]bool
+	// curStamp is the current round's reservation stamp. runReserve
+	// stamps each reserved request's RoundLock with it, and Victim skips
+	// requests carrying the current stamp — the map-free form of a
+	// locked-this-round set (bumping the stamp clears the whole set).
+	// Stamps embed the group ID in the high bits so a request migrated
+	// from another engine can never carry a matching stale stamp.
+	curStamp uint64
 
 	// roundsRun counts completed scheduling rounds (diagnostics only).
 	roundsRun int
@@ -180,6 +193,26 @@ type Engine struct {
 	queuedAt map[int]sim.Time
 
 	stages []stage
+
+	// rd is the per-round scratch state, reused across rounds: at most one
+	// round is in flight per engine, and finishRound consumes rd.items
+	// before the next round can start.
+	rd round
+	// mb1 is the persistent single-microbatch header single-stage groups
+	// launch with (no Former call, no per-round slice).
+	mb1 [1][]batching.Item
+	// finishFn is the launch-stage completion closure, built once so a
+	// round launch allocates nothing.
+	finishFn func()
+	// demandTokens holds DemandTokens' value incrementally: every queue
+	// push/pop and running add/remove applies the joining or leaving
+	// request's contribution, and runReserve applies the delta when a
+	// decode append grows a sequence past its prompt. Least-loaded
+	// dispatch reads every group's demand on every arrival; recomputing
+	// by walking queue and running there is a fleet-wide population scan
+	// per arrival and was the dominant cost of cluster-scale sweeps.
+	// TestDemandAccountingInvariant pins it to the ground-truth walk.
+	demandTokens int
 }
 
 // New assembles an engine in the collocated role.
@@ -200,9 +233,10 @@ func New(opts Options) *Engine {
 		tr:            opts.Tracer,
 		rt:            opts.Req,
 		stalled:       make(map[int]*request.Request),
-		lockedRound:   make(map[int]bool),
+		curStamp:      uint64(opts.GroupID+1) << 40,
 	}
 	e.stages = stagesFor(e.role)
+	e.finishFn = func() { e.finishRound(e.rd.items) }
 	return e
 }
 
@@ -274,6 +308,15 @@ func (e *Engine) Running() []*request.Request {
 	return out
 }
 
+// EachRunning visits the running set in admission order without copying
+// it. fn must not admit, remove, or re-queue requests — policies that
+// mutate the running set while iterating use Running's copy instead.
+func (e *Engine) EachRunning(fn func(r *request.Request)) {
+	for _, r := range e.running {
+		fn(r)
+	}
+}
+
 // IsStalled reports whether a request is currently stalled here.
 func (e *Engine) IsStalled(r *request.Request) bool { return e.stalled[r.ID] != nil }
 
@@ -298,6 +341,7 @@ func (e *Engine) RoundsRun() int { return e.roundsRun }
 // Enqueue adds a request to the wait queue under the group's discipline.
 func (e *Engine) Enqueue(r *request.Request) {
 	r.GroupID = e.groupID
+	e.demandTokens += r.PrefillTarget()
 	e.stampQueued(r)
 	e.queue.Push(r)
 	e.traceQueued(r, "enqueue")
@@ -308,6 +352,7 @@ func (e *Engine) Enqueue(r *request.Request) {
 // places it literally first; ordered disciplines fold it into their order).
 func (e *Engine) EnqueueFront(r *request.Request) {
 	r.GroupID = e.groupID
+	e.demandTokens += r.PrefillTarget()
 	e.stampQueued(r)
 	e.queue.PushFront(r)
 	e.traceQueued(r, "requeue")
@@ -384,7 +429,7 @@ func (e *Engine) MarkDecodeReady(r *request.Request) {
 func (e *Engine) Victim() *request.Request {
 	var v *request.Request
 	for _, r := range e.running {
-		if e.lockedRound[r.ID] || e.stalled[r.ID] != nil || r.Done() {
+		if r.RoundLock == e.curStamp || r.State() != request.StateRunning || r.Done() {
 			continue
 		}
 		if v == nil || r.Arrival > v.Arrival {
@@ -438,10 +483,33 @@ func (e *Engine) RemoveRequest(r *request.Request) {
 // group's pool) to the running set.
 func (e *Engine) AdoptRunning(r *request.Request) {
 	r.GroupID = e.groupID
+	e.addRunning(r)
+}
+
+// byArrivalID is runCollect's deterministic order: by arrival, then ID.
+// (Arrival, ID) is a strict total order — IDs are unique.
+func byArrivalID(a, b *request.Request) int {
+	if a.Arrival != b.Arrival {
+		if a.Arrival < b.Arrival {
+			return -1
+		}
+		return 1
+	}
+	return a.ID - b.ID
+}
+
+func (e *Engine) addRunning(r *request.Request) {
+	e.demandTokens += committedTokens(r)
 	e.running = append(e.running, r)
+	i, _ := slices.BinarySearchFunc(e.sortedRunning, r, byArrivalID)
+	e.sortedRunning = slices.Insert(e.sortedRunning, i, r)
 }
 
 func (e *Engine) removeRunning(r *request.Request) {
+	e.demandTokens -= committedTokens(r)
+	if i, ok := slices.BinarySearchFunc(e.sortedRunning, r, byArrivalID); ok {
+		e.sortedRunning = slices.Delete(e.sortedRunning, i, i+1)
+	}
 	for i, x := range e.running {
 		if x == r {
 			e.running = append(e.running[:i], e.running[i+1:]...)
@@ -455,19 +523,26 @@ func (e *Engine) removeRunning(r *request.Request) {
 // accounting (§2.2): the committed KV of in-processing requests (at least
 // their full prompt, since prefill will allocate it) plus the prompts of
 // queued requests.
-func (e *Engine) DemandTokens() int {
-	d := 0
-	for _, r := range e.running {
-		committed := r.PrefillTarget()
-		if r.Seq != nil && r.Seq.Tokens() > committed {
-			committed = r.Seq.Tokens()
-		}
-		d += committed
+func (e *Engine) DemandTokens() int { return e.demandTokens }
+
+// committedTokens is one running request's demand contribution: at least
+// the full prompt (prefill will allocate it), more once decode has grown
+// the sequence past it. Nil-Seq requests (stalled mid-handoff, or mid-
+// transplant) still owe their prompt.
+func committedTokens(r *request.Request) int {
+	c := r.PrefillTarget()
+	if r.Seq != nil && r.Seq.Tokens() > c {
+		c = r.Seq.Tokens()
 	}
-	e.queue.Each(func(r *request.Request) {
-		d += r.PrefillTarget()
-	})
-	return d
+	return c
+}
+
+// AccountQueuedDemand adds a request's queued-demand contribution for
+// callers that push straight onto the discipline, bypassing Enqueue
+// (reconfiguration transplants the waiting queue that way to preserve
+// queue-entry stamps).
+func (e *Engine) AccountQueuedDemand(r *request.Request) {
+	e.demandTokens += r.PrefillTarget()
 }
 
 // maxRunning bounds the admitted set: vLLM's max_num_seqs per engine,
@@ -502,6 +577,7 @@ func (e *Engine) runAdmit(*round) bool {
 		if r.Done() {
 			// Finished elsewhere (shouldn't happen) — drop defensively.
 			e.queue.Pop()
+			e.demandTokens -= r.PrefillTarget()
 			delete(e.queuedAt, r.ID)
 			continue
 		}
@@ -517,6 +593,7 @@ func (e *Engine) runAdmit(*round) bool {
 			return true
 		}
 		e.queue.Pop()
+		e.demandTokens -= r.PrefillTarget()
 		r.Seq = seq
 		if hit > 0 {
 			r.PrefilledTokens = hit
@@ -534,7 +611,7 @@ func (e *Engine) runAdmit(*round) bool {
 				e.simu.Now().Sub(since).Seconds())
 		}
 		r.SetState(request.StateRunning)
-		e.running = append(e.running, r)
+		e.addRunning(r)
 		if e.tr != nil {
 			e.tr.Emit(obs.Event{Phase: obs.PhaseInstant, Time: e.simu.Now(),
 				Cat: obs.CatQueue, Name: "admit", Group: e.groupID,
@@ -550,20 +627,15 @@ func (e *Engine) runAdmit(*round) bool {
 // excluding stalled ones, keeping only the halves the role serves. Order
 // is deterministic: by arrival, then ID.
 func (e *Engine) runCollect(rd *round) bool {
-	reqs := make([]*request.Request, 0, len(e.running))
-	for _, r := range e.running {
-		if e.stalled[r.ID] != nil || r.Done() {
+	// sortedRunning already carries the (Arrival, ID) order, so collection
+	// is a single filtered walk: no per-round sort, no intermediate buffer.
+	for _, r := range e.sortedRunning {
+		// A non-Running state here means stalled: every stall path goes
+		// through Stall (which sets a stall state) and Unstall restores
+		// StateRunning, so the state check replaces the stalled-map lookup.
+		if r.State() != request.StateRunning || r.Done() {
 			continue
 		}
-		reqs = append(reqs, r)
-	}
-	sort.Slice(reqs, func(i, j int) bool {
-		if reqs[i].Arrival != reqs[j].Arrival {
-			return reqs[i].Arrival < reqs[j].Arrival
-		}
-		return reqs[i].ID < reqs[j].ID
-	})
-	for _, r := range reqs {
 		if r.InPrefill() {
 			if !e.role.RunsPrefill() {
 				panic(fmt.Sprintf("engine: decode group %d holds prefilling request %d",
@@ -594,8 +666,8 @@ func (e *Engine) runForm(rd *round) bool {
 	if budget.MaxSeqs > 0 {
 		budget.MaxSeqs *= e.depth
 	}
-	rd.items = batching.FormIteration(rd.decodes, rd.prefills, budget)
-	e.lockedRound = make(map[int]bool)
+	rd.items = batching.AppendIteration(rd.items[:0], rd.decodes, rd.prefills, budget)
+	e.curStamp++
 	rd.hadWork = len(rd.items) > 0
 	return true
 }
@@ -604,8 +676,13 @@ func (e *Engine) runForm(rd *round) bool {
 // policy under pressure. Items that still cannot fit are dropped from this
 // round (their requests simply make no progress this iteration).
 func (e *Engine) runReserve(rd *round) bool {
-	out := rd.items[:0]
-	for _, it := range rd.items {
+	// Filter in place, writing an item back only after a drop shifted the
+	// kept ones: in the common no-pressure round every item survives and
+	// the slice is never rewritten (no redundant copies, no write
+	// barriers).
+	kept := 0
+	for i := range rd.items {
+		it := &rd.items[i]
 		ok := false
 		for attempt := 0; attempt < 64; attempt++ {
 			if it.Req.Seq == nil || it.Req.State() != request.StateRunning ||
@@ -617,6 +694,16 @@ func (e *Engine) runReserve(rd *round) bool {
 				break
 			}
 			if err := it.Req.Seq.Append(it.Chunk); err == nil {
+				// A decode append past the prompt raises the request's
+				// committed-KV contribution (prefill stays within the
+				// prompt already accounted at admission).
+				if after := it.Req.Seq.Tokens(); after > it.Req.PrefillTarget() {
+					before := after - it.Chunk
+					if pt := it.Req.PrefillTarget(); before < pt {
+						before = pt
+					}
+					e.demandTokens += after - before
+				}
 				ok = true
 				break
 			}
@@ -626,11 +713,14 @@ func (e *Engine) runReserve(rd *round) bool {
 			}
 		}
 		if ok {
-			e.lockedRound[it.Req.ID] = true
-			out = append(out, it)
+			it.Req.RoundLock = e.curStamp
+			if kept != i {
+				rd.items[kept] = *it
+			}
+			kept++
 		}
 	}
-	rd.items = out
+	rd.items = rd.items[:kept]
 	return true
 }
 
@@ -660,8 +750,17 @@ func (e *Engine) runLaunch(rd *round) bool {
 		e.counter(now, "batch_size", float64(len(rd.items)))
 		e.counter(now, "running", float64(len(e.running)))
 	}
-	mbs := e.cb.Form(rd.items, e.depth)
-	e.pipe.RunRound(mbs, func() { e.finishRound(rd.items) })
+	var mbs [][]batching.Item
+	if e.depth == 1 {
+		// Former implementations must return a single-stage batch unsplit
+		// (the interface contract), so skip the call and reuse a
+		// persistent one-element header instead of allocating it per round.
+		e.mb1[0] = rd.items
+		mbs = e.mb1[:]
+	} else {
+		mbs = e.cb.Form(rd.items, e.depth)
+	}
+	e.pipe.RunRound(mbs, e.finishFn)
 	return true
 }
 
@@ -676,7 +775,11 @@ func (e *Engine) startRound() {
 	}
 	e.scheduling = true
 	defer func() { e.scheduling = false }()
-	rd := &round{}
+	rd := &e.rd
+	rd.decodes = rd.decodes[:0]
+	rd.prefills = rd.prefills[:0]
+	rd.items = rd.items[:0]
+	rd.hadWork = false
 	for _, st := range e.stages {
 		ok := st.run(e, rd)
 		if e.tr != nil {
@@ -725,11 +828,17 @@ func (e *Engine) finishRound(items []batching.Item) {
 				}
 			}
 		} else {
-			if ts, ok := e.decodeReady[r.ID]; ok {
-				e.col.ObserveStageWait(metrics.StageDecodeQueue, now.Sub(ts).Seconds())
-				delete(e.decodeReady, r.ID)
+			// decodeReady is nil outside disaggregated serving; skipping
+			// the lookup keeps the collocated decode path map-free.
+			if len(e.decodeReady) > 0 {
+				if ts, ok := e.decodeReady[r.ID]; ok {
+					e.col.ObserveStageWait(metrics.StageDecodeQueue, now.Sub(ts).Seconds())
+					delete(e.decodeReady, r.ID)
+				}
 			}
-			e.rt.Transition(now, r.ID, "decode", e.groupID)
+			if e.rt != nil {
+				e.rt.Transition(now, r.ID, "decode", e.groupID)
+			}
 			r.AdvanceDecode(now)
 			tokens++
 		}
@@ -778,7 +887,7 @@ func (e *Engine) finishRequest(r *request.Request, now sim.Time) {
 		Client:       r.Client,
 		Class:        r.Class,
 	})
-	e.cb.Finished()
+	e.cb.Finished(r)
 }
 
 // Drain freezes the engine after the in-flight round and calls then once
@@ -805,10 +914,12 @@ func (e *Engine) ExtractRequests() (running, waiting []*request.Request, stalled
 		panic(fmt.Sprintf("engine: extracting from executing group %d", e.groupID))
 	}
 	running, stalled = e.running, e.stalled
+	e.demandTokens = 0
 	for e.queue.Len() > 0 {
 		waiting = append(waiting, e.queue.Pop())
 	}
 	e.running = nil
+	e.sortedRunning = nil
 	e.stalled = make(map[int]*request.Request)
 	e.closed = true
 	return running, waiting, stalled

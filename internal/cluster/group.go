@@ -144,6 +144,10 @@ func (g *Group) SetRole(role engine.Role) error {
 // mutating group state).
 func (g *Group) Running() []*request.Request { return g.exec.Running() }
 
+// EachRunning visits the running set without copying it; fn must not
+// mutate the group's admission state (see engine.Engine.EachRunning).
+func (g *Group) EachRunning(fn func(*request.Request)) { g.exec.EachRunning(fn) }
+
 // WaitingRequests returns a copy of the wait queue in dispatch order.
 func (g *Group) WaitingRequests() []*request.Request { return g.exec.Queue().Items() }
 

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"kunserve/internal/cluster"
+	"kunserve/internal/runner"
+	"kunserve/internal/sim"
+	"kunserve/internal/workload"
+	"kunserve/internal/workload/arrival"
+)
+
+// ScaleCell is one (fleet size x system) point of the scale sweep.
+type ScaleCell struct {
+	System   string
+	Finished int
+	Unserved int
+
+	TTFTP50 float64
+	TTFTP99 float64
+	TPOTP99 float64
+
+	// Throughput is generated tokens/second across the run span.
+	Throughput float64
+
+	// Drops/Restores echo the reconfiguration log (KunServe only).
+	Drops    int
+	Restores int
+}
+
+// ScaleRung is one fleet size of the ladder: the diurnal trace served at
+// that size and the per-system outcomes.
+type ScaleRung struct {
+	Instances int
+	Requests  int
+	AvgRPS    float64
+
+	Systems []ScaleCell
+
+	// WallSeconds is the host wall-clock time the rung's run matrix took.
+	// Excluded from JSON: machine-dependent numbers must not leak into
+	// artifacts that are diffed across runs.
+	WallSeconds float64 `json:"-"`
+}
+
+// ScaleResult is the cluster-scale streaming sweep: a ladder of fleet sizes
+// each serving an hour-class diurnal trace in bounded-memory mode.
+type ScaleResult struct {
+	Duration sim.Duration
+	Rungs    []ScaleRung
+}
+
+// scaleLadder derives the fleet ladder from the target size: quarter, half,
+// and full fleet, deduplicated, never below 2 instances.
+func scaleLadder(target int) []int {
+	if target < 2 {
+		target = 2
+	}
+	var ladder []int
+	for _, n := range []int{target / 4, target / 2, target} {
+		if n < 2 {
+			n = 2
+		}
+		if len(ladder) == 0 || ladder[len(ladder)-1] != n {
+			ladder = append(ladder, n)
+		}
+	}
+	return ladder
+}
+
+// ExperimentScale runs the cluster-scale streaming sweep: for each rung of
+// the fleet ladder, an hour-class sine-modulated diurnal trace (4 load
+// cycles over the configured duration) is served by vLLM (DP) and KunServe
+// with streaming metrics and lazy arrivals forced on, so memory stays
+// bounded by the live request population rather than the trace length.
+// Rungs run sequentially — peak footprint is one rung's trace — while the
+// systems within a rung share the runner's worker pool.
+func ExperimentScale(cfg Config) (*ScaleResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ScaleResult{Duration: cfg.Duration}
+	period := cfg.Duration / 4
+	for _, n := range scaleLadder(cfg.Instances) {
+		rc := cfg
+		rc.Instances = n
+		rc.Stream = true
+		// Re-derive the rate for this rung's fleet so every rung runs at
+		// the same per-instance load (the ladder scales the cluster, not
+		// the pressure).
+		rc.BaseRPS = rc.defaultRPS()
+		if rc.LoadMultiplier > 0 {
+			rc.BaseRPS *= rc.LoadMultiplier
+		}
+		proc, err := arrival.NewDiurnal(rc.BaseRPS, 0.5, period, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scale rung %d: %w", n, err)
+		}
+		seed := runner.DeriveSeed(rc.Seed, fmt.Sprintf("scale/%d", n))
+		tr := workload.GenerateProcess(seed, rc.Duration, proc, rc.Dataset)
+		defs := []cellDef{
+			{string(SysVLLMDP), func() cluster.Policy { return NewPolicy(SysVLLMDP) }},
+			{string(SysKunServe), func() cluster.Policy { return NewPolicy(SysKunServe) }},
+		}
+		start := time.Now()
+		results, err := rc.runMatrix(tr, defs)
+		if err != nil {
+			return nil, err
+		}
+		rung := ScaleRung{
+			Instances:   n,
+			Requests:    len(tr.Requests),
+			AvgRPS:      tr.AvgRPS(),
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		for _, r := range results {
+			s := r.Summary
+			rung.Systems = append(rung.Systems, ScaleCell{
+				System:     r.Key,
+				Finished:   s.Finished,
+				Unserved:   s.Unserved,
+				TTFTP50:    s.TTFTP50,
+				TTFTP99:    s.TTFTP99,
+				TPOTP99:    s.TPOTP99,
+				Throughput: s.Throughput,
+				Drops:      s.Drops,
+				Restores:   s.Restores,
+			})
+		}
+		res.Rungs = append(res.Rungs, rung)
+	}
+	return res, nil
+}
+
+// PrintExperimentScale renders the result.
+func PrintExperimentScale(w io.Writer, r *ScaleResult) {
+	printHeader(w, "Scale: streaming fleet sweep (diurnal load)")
+	fmt.Fprintf(w, "trace length %v, bounded metrics (reservoir %d), lazy arrivals\n",
+		r.Duration, runner.DefaultReservoir)
+	for _, rung := range r.Rungs {
+		fmt.Fprintf(w, "%4d instances | %d requests, %.1f req/s avg | wall %.1fs\n",
+			rung.Instances, rung.Requests, rung.AvgRPS, rung.WallSeconds)
+		for _, c := range rung.Systems {
+			fmt.Fprintf(w, "    %-10s finished %7d  unserved %6d  TTFT p50/p99 %.2f/%.2f s  TPOT p99 %.0f ms  %.0f tok/s",
+				c.System, c.Finished, c.Unserved, c.TTFTP50, c.TTFTP99, c.TPOTP99*1e3, c.Throughput)
+			if c.Drops+c.Restores > 0 {
+				fmt.Fprintf(w, "  drops/restores %d/%d", c.Drops, c.Restores)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

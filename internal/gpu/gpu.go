@@ -91,6 +91,15 @@ type Timer struct {
 	// and bandwidth scale with it (intra-server NVLink assumed fast
 	// enough that TP overhead folds into the efficiency factors).
 	tpDegree int
+
+	// attnFactor (4*heads*headDim), layersF, and kvBytesF cache the
+	// config-constant factors of the per-chunk cost terms so the
+	// microbatch loop does no repeated int-to-float conversion. All are
+	// exact small-integer products, so hoisting them is bit-identical to
+	// recomputing per chunk.
+	attnFactor float64
+	layersF    float64
+	kvBytesF   float64
 }
 
 // NewTimer builds a timer for cfg running on tpDegree GPUs of the given
@@ -99,7 +108,12 @@ func NewTimer(spec *Spec, cfg *model.Config, tpDegree int) *Timer {
 	if tpDegree <= 0 {
 		panic(fmt.Sprintf("gpu: tpDegree = %d", tpDegree))
 	}
-	return &Timer{spec: spec, cfg: cfg, tpDegree: tpDegree}
+	return &Timer{
+		spec: spec, cfg: cfg, tpDegree: tpDegree,
+		attnFactor: 4 * float64(cfg.NumHeads) * float64(cfg.HeadDim),
+		layersF:    float64(cfg.Layers),
+		kvBytesF:   float64(cfg.KVBytesPerToken()),
+	}
 }
 
 // Spec returns the underlying GPU spec.
@@ -137,10 +151,13 @@ func (t *Timer) MicrobatchTime(chunks []ChunkWork) sim.Duration {
 			panic(fmt.Sprintf("gpu: ChunkLen = %d", c.ChunkLen))
 		}
 		totalNew += c.ChunkLen
-		attnFlops += t.cfg.AttnFlopsForChunk(c.PrefixLen, c.ChunkLen)
+		// Inlined AttnFlopsForChunk with the config-constant factors
+		// hoisted (same multiplication order, so bit-identical).
+		p, n := float64(c.PrefixLen), float64(c.ChunkLen)
+		attnFlops += t.attnFactor * (p*n + n*(n+1)/2) * t.layersF
 		// The kernel streams the prefix KV (and the chunk's own KV)
 		// once per chunk.
-		kvReadBytes += float64(t.cfg.KVBytesPerToken()) * float64(c.PrefixLen+c.ChunkLen)
+		kvReadBytes += t.kvBytesF * float64(c.PrefixLen+c.ChunkLen)
 	}
 
 	linearFlops := t.cfg.LinearFlopsPerToken() * float64(totalNew)

@@ -147,6 +147,18 @@ type Pool struct {
 
 	stats Stats
 
+	// blockFree recycles Block structs whose physical slot returned to the
+	// free count, and sliceFree recycles freed sequences' block slices, so
+	// steady-state sequence churn allocates no per-block objects. blockSlab
+	// is the warm-up arena: fresh blocks are carved from it in slabs so
+	// growing to the working set costs one allocation per slab, not per
+	// block. needErr is the reusable allocation-shortfall error (callers
+	// nil-check and drop it on the pressure-retry hot path).
+	blockFree []*Block
+	sliceFree [][]*Block
+	blockSlab []Block
+	needErr   needError
+
 	// tr/traceNow/traceGroup carry the observability hookup (SetTracer).
 	// The pool has no clock of its own, so the owner supplies one; tr nil
 	// (the default) keeps every allocation path trace-free.
@@ -289,7 +301,7 @@ func (p *Pool) RemoveBlocksEvicting(n int) (evicted int, err error) {
 		return 0, fmt.Errorf("kvcache: remove %d blocks, only %d free", n, p.AvailableBlocks())
 	}
 	for p.freeBlocks < n {
-		p.evictOne(true)
+		p.recycleBlock(p.evictOne(true))
 		p.freeBlocks++
 		evicted++
 	}
@@ -315,6 +327,15 @@ func chainHash(id string, k int) uint64 {
 	return h.Sum64() | 1 // never 0: 0 marks private blocks
 }
 
+// needError is fill's allocation-shortfall error. It formats lazily and
+// each pool reuses a single value, so the pressure path — where the engine
+// only nil-checks the error and consults the policy — allocates nothing.
+type needError struct{ need, free int }
+
+func (e *needError) Error() string {
+	return fmt.Sprintf("kvcache: need %d more blocks, %d free", e.need, e.free)
+}
+
 // takeBlock claims one physical block for a new reference, evicting the
 // oldest cached block if no free block exists. Returns nil when the pool is
 // exhausted.
@@ -322,7 +343,24 @@ func (p *Pool) takeBlock() *Block {
 	if p.freeBlocks > 0 {
 		p.freeBlocks--
 		p.usedBlocks++
-		return &Block{refs: 1}
+		if n := len(p.blockFree); n > 0 {
+			b := p.blockFree[n-1]
+			p.blockFree[n-1] = nil
+			p.blockFree = p.blockFree[:n-1]
+			b.refs = 1
+			return b
+		}
+		if len(p.blockSlab) == 0 {
+			n := 256
+			if p.totalBlocks < n {
+				n = p.totalBlocks
+			}
+			p.blockSlab = make([]Block, n)
+		}
+		b := &p.blockSlab[0]
+		p.blockSlab = p.blockSlab[1:]
+		b.refs = 1
+		return b
 	}
 	if len(p.cachedList) == 0 {
 		return nil
@@ -373,6 +411,36 @@ func (p *Pool) unref(b *Block) {
 		return
 	}
 	p.freeBlocks++
+	p.recycleBlock(b)
+}
+
+// recycleBlock returns a content-free block struct to the free list. Every
+// caller has already accounted the physical slot in freeBlocks; no live
+// sequence or index entry may still reference b.
+func (p *Pool) recycleBlock(b *Block) {
+	*b = Block{}
+	p.blockFree = append(p.blockFree, b)
+}
+
+// getBlockSlice returns a recycled block-slice backing array (or nil).
+func (p *Pool) getBlockSlice() []*Block {
+	if n := len(p.sliceFree); n > 0 {
+		s := p.sliceFree[n-1]
+		p.sliceFree[n-1] = nil
+		p.sliceFree = p.sliceFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putBlockSlice recycles a released sequence's block slice.
+func (p *Pool) putBlockSlice(s []*Block) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	p.sliceFree = append(p.sliceFree, s[:0])
 }
 
 // cacheBlock inserts a published, unreferenced block into the cached list
@@ -434,12 +502,13 @@ func (p *Pool) walkChain(pfx Prefix, fn func(k int, b *Block) bool) {
 	}
 }
 
-// matchChain claims the published chain for pfx, referencing every matched
-// block, and returns the blocks and the tokens of content they carry.
-// maxTokens bounds the claim (a swapped-out sequence must not come back
-// holding more content than it logically has); pass pfx.Tokens or more for
-// an unbounded match.
-func (p *Pool) matchChain(pfx Prefix, maxTokens int) (blocks []*Block, tokens int) {
+// matchChain claims the published chain for pfx, appending every matched
+// block to dst (pass a recycled slice or nil) and returning the blocks and
+// the tokens of content they carry. maxTokens bounds the claim (a
+// swapped-out sequence must not come back holding more content than it
+// logically has); pass pfx.Tokens or more for an unbounded match.
+func (p *Pool) matchChain(dst []*Block, pfx Prefix, maxTokens int) (blocks []*Block, tokens int) {
+	blocks = dst
 	p.walkChain(pfx, func(_ int, b *Block) bool {
 		if tokens+b.filled > maxTokens {
 			return false
@@ -536,7 +605,7 @@ func (p *Pool) NewSeq(tokens int) (*Seq, error) {
 	if need > p.AvailableBlocks() {
 		return nil, fmt.Errorf("kvcache: need %d blocks, %d free", need, p.AvailableBlocks())
 	}
-	s := &Seq{pool: p}
+	s := &Seq{pool: p, blocks: p.getBlockSlice()}
 	if err := s.fill(0, tokens); err != nil {
 		panic("kvcache: fill after fit check: " + err.Error())
 	}
@@ -556,10 +625,10 @@ func (p *Pool) NewSeqCached(pfx Prefix) (*Seq, int, error) {
 	if pfx.Tokens < 0 {
 		return nil, 0, fmt.Errorf("kvcache: NewSeqCached(%d prefix tokens)", pfx.Tokens)
 	}
-	s := &Seq{pool: p, prefix: pfx}
+	s := &Seq{pool: p, prefix: pfx, blocks: p.getBlockSlice()}
 	if p.sharing && pfx.Tokens > 0 {
 		p.stats.Lookups++
-		blocks, tokens := p.matchChain(pfx, pfx.Tokens)
+		blocks, tokens := p.matchChain(s.blocks, pfx, pfx.Tokens)
 		if tokens > 0 {
 			p.stats.Hits++
 			p.stats.HitTokens += int64(tokens)
@@ -627,16 +696,26 @@ func (s *Seq) fill(filled, n int) error {
 	p := s.pool
 	bt := p.blockTokens
 	var tail *Block
-	if len(s.blocks) > 0 && s.blocks[len(s.blocks)-1].filled < bt {
-		tail = s.blocks[len(s.blocks)-1]
+	tailSpace := 0
+	if len(s.blocks) > 0 {
+		if b := s.blocks[len(s.blocks)-1]; b.filled < bt {
+			tail = b
+			tailSpace = bt - b.filled
+		}
 	}
-	need := p.BlocksForTokens(filled+n) - len(s.blocks)
+	// Common decode append: the tail absorbs every new token, so no new
+	// blocks are needed and the BlocksForTokens division is skipped.
+	need := 0
+	if n > tailSpace {
+		need = p.BlocksForTokens(filled+n) - len(s.blocks)
+	}
 	cow := 0
 	if tail != nil && tail.refs > 1 {
 		cow = 1
 	}
 	if need+cow > p.AvailableBlocks() {
-		return fmt.Errorf("kvcache: need %d more blocks, %d free", need+cow, p.AvailableBlocks())
+		p.needErr = needError{need: need + cow, free: p.AvailableBlocks()}
+		return &p.needErr
 	}
 	if tail != nil {
 		if cow == 1 {
@@ -655,12 +734,28 @@ func (s *Seq) fill(filled, n int) error {
 			delete(p.index, tail.hash)
 			tail.hash = 0
 		}
-		take := bt - tail.filled
+		// tailSpace stays valid across the CoW branch: the copy inherits
+		// the original's filled count.
+		take := tailSpace
 		if take > n {
 			take = n
 		}
 		tail.filled += take
 		n -= take
+	}
+	// The append loop below adds exactly `need` blocks: tail absorption
+	// consumed tokens but added none.
+	if need > cap(s.blocks)-len(s.blocks) {
+		// Grow once for the whole fill (with doubling slack for later
+		// decode appends) instead of letting append reallocate stepwise.
+		newCap := len(s.blocks) + need
+		if newCap < 2*cap(s.blocks) {
+			newCap = 2 * cap(s.blocks)
+		}
+		grown := make([]*Block, len(s.blocks), newCap)
+		copy(grown, s.blocks)
+		p.putBlockSlice(s.blocks)
+		s.blocks = grown
 	}
 	for n > 0 {
 		nb := p.takeBlock()
@@ -756,6 +851,7 @@ func (s *Seq) SwapOut() error {
 	for _, b := range s.blocks {
 		p.unref(b)
 	}
+	p.putBlockSlice(s.blocks)
 	s.blocks = nil
 	s.published = 0
 	s.swapped = true
@@ -782,7 +878,7 @@ func (s *Seq) SwapIn() error {
 		return fmt.Errorf("kvcache: swap-in needs %d blocks, %d free",
 			need, p.AvailableBlocks())
 	}
-	blocks, cached := p.matchChain(s.prefix, s.tokens)
+	blocks, cached := p.matchChain(p.getBlockSlice(), s.prefix, s.tokens)
 	s.blocks = blocks
 	s.published = len(blocks)
 	if err := s.fill(cached, s.tokens-cached); err != nil {
@@ -830,6 +926,7 @@ func (s *Seq) Free() {
 		for _, b := range s.blocks {
 			p.unref(b)
 		}
+		p.putBlockSlice(s.blocks)
 	}
 	s.blocks = nil
 	s.released = true

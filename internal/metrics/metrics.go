@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -294,6 +295,24 @@ type Collector struct {
 	// queue delay). Nil until the first observation, so collocated runs
 	// carry no stage state at all.
 	StageWaits map[string]*Dist
+
+	// Bounded-memory mode (Bound): rcap > 0 turns every latency Dist into
+	// a capacity-capped reservoir, stops retaining Records, and maintains
+	// per-class SLO attainment incrementally instead of by record replay.
+	rcap    int
+	seed    int64
+	targets map[string]SLOTarget
+	// classAttained counts finished requests per class that met every
+	// declared target (exact — updated per finish, not sampled).
+	classAttained map[string]int
+}
+
+// SLOTarget is one SLO class's latency targets in seconds (0 = none
+// declared). It mirrors the scheduler's class targets without importing the
+// scheduling layer.
+type SLOTarget struct {
+	TTFT float64
+	TBT  float64
 }
 
 // Disaggregation stage labels for ObserveStageWait.
@@ -322,9 +341,54 @@ func NewCollector(window sim.Duration) *Collector {
 	}
 }
 
+// Bound switches the collector to bounded-memory mode before any
+// observation: latency distributions become capacity-capped reservoirs
+// (seed-deterministic; per-class reservoirs derive their seeds from the
+// class name so map iteration order cannot matter), per-request Records are
+// not retained, and per-class SLO attainment against targets is maintained
+// incrementally. Mean, Count, and attainment stay exact; percentiles become
+// reservoir approximations. Calling Bound after observations have been
+// recorded panics — mixing exact and sampled state would silently skew
+// percentiles.
+func (c *Collector) Bound(capacity int, seed int64, targets map[string]SLOTarget) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("metrics: reservoir capacity %d", capacity))
+	}
+	if c.TTFT.Count() > 0 || c.TPOT.Count() > 0 || len(c.Records) > 0 {
+		panic("metrics: Bound after observations")
+	}
+	c.rcap = capacity
+	c.seed = seed
+	c.targets = targets
+	c.TTFT = *NewReservoirDist(capacity, seed)
+	c.TPOT = *NewReservoirDist(capacity, seed+1)
+	c.classAttained = map[string]int{}
+}
+
+// Bounded reports whether the collector runs in bounded-memory mode.
+func (c *Collector) Bounded() bool { return c.rcap > 0 }
+
+// ClassAttained returns the exact number of finished requests in the class
+// that met every declared SLO target. Only maintained in bounded mode;
+// unbounded consumers replay Records instead.
+func (c *Collector) ClassAttained(class string) int { return c.classAttained[class] }
+
+// newDist builds one named latency distribution in the collector's mode:
+// exact by default, a reservoir with a name-derived seed when bounded.
+func (c *Collector) newDist(name string) *Dist {
+	if c.rcap == 0 {
+		return &Dist{}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return NewReservoirDist(c.rcap, c.seed^int64(h.Sum64()))
+}
+
 // Finish records a completed request.
 func (c *Collector) Finish(r RequestRecord) {
-	c.Records = append(c.Records, r)
+	if c.rcap == 0 {
+		c.Records = append(c.Records, r)
+	}
 	c.TTFT.Add(r.TTFT())
 	if r.OutputTokens > 1 {
 		c.TPOT.Add(r.TPOT())
@@ -337,13 +401,20 @@ func (c *Collector) Finish(r RequestRecord) {
 		}
 		d := c.ClassTTFT[r.Class]
 		if d == nil {
-			d = &Dist{}
+			d = c.newDist("ttft/" + r.Class)
 			c.ClassTTFT[r.Class] = d
-			c.ClassTPOT[r.Class] = &Dist{}
+			c.ClassTPOT[r.Class] = c.newDist("tpot/" + r.Class)
 		}
 		d.Add(r.TTFT())
 		if r.OutputTokens > 1 {
 			c.ClassTPOT[r.Class].Add(r.TPOT())
+		}
+		if c.rcap > 0 {
+			tgt := c.targets[r.Class]
+			if (tgt.TTFT <= 0 || r.TTFT() <= tgt.TTFT) &&
+				(tgt.TBT <= 0 || r.OutputTokens <= 1 || r.TPOT() <= tgt.TBT) {
+				c.classAttained[r.Class]++
+			}
 		}
 	}
 }
@@ -382,7 +453,7 @@ func (c *Collector) ObserveStageWait(stage string, seconds float64) {
 	}
 	d := c.StageWaits[stage]
 	if d == nil {
-		d = &Dist{}
+		d = c.newDist("stage/" + stage)
 		c.StageWaits[stage] = d
 	}
 	d.Add(seconds)

@@ -683,3 +683,36 @@ func TestObservePrefillHitRate(t *testing.T) {
 		t.Fatalf("hit rate = %v", hr)
 	}
 }
+
+// Percentile memoizes its sort; Add invalidates the memo. Reading a Dist
+// through a value copy sorts the shared sample array but records the memo
+// only on the copy — the original still believes its samples unsorted —
+// which is why every summary reads the collector's dists through pointers.
+func TestDistPercentileSortMemo(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{3, 1, 2} {
+		d.Add(v)
+	}
+	if d.sorted {
+		t.Fatal("memo set before any percentile read")
+	}
+	if got := d.Percentile(50); got != 2 {
+		t.Fatalf("P50 = %v, want 2", got)
+	}
+	if !d.sorted {
+		t.Fatal("memo not set by Percentile")
+	}
+	d.Add(0.5)
+	if d.sorted {
+		t.Fatal("Add did not invalidate the memo")
+	}
+
+	cp := d
+	cp.Percentile(50)
+	if !cp.sorted {
+		t.Fatal("copy's read did not set the copy's memo")
+	}
+	if d.sorted {
+		t.Fatal("copy's read set the original's memo: value copies must not be used for reads")
+	}
+}

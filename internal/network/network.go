@@ -33,11 +33,13 @@ const (
 	numPriorities
 )
 
-// Transfer is one queued send.
+// Transfer is one queued send. Chunk sends of a BulkTransfer carry bulk
+// instead of done: completion dispatches to the bulk stream directly, so a
+// long chunked transfer schedules no per-chunk closures at all.
 type transfer struct {
 	bytes int64
-	label string
 	done  func()
+	bulk  *BulkTransfer
 }
 
 // Link is a unidirectional bandwidth resource (one instance's NIC egress).
@@ -46,8 +48,15 @@ type Link struct {
 	name      string
 	bandwidth float64 // bytes per second
 	latency   sim.Duration
-	queues    [numPriorities][]*transfer
+	queues    [numPriorities][]transfer
 	busy      bool
+
+	// cur/curPri is the in-flight transfer; onDone its persistent
+	// completion callback (one per link), so steady-state sends schedule
+	// no closures.
+	cur    transfer
+	curPri Priority
+	onDone func()
 
 	// Stats.
 	bytesSent  int64
@@ -62,7 +71,9 @@ func NewLink(s *sim.Simulation, name string, bandwidthBps float64, latency sim.D
 	if bandwidthBps <= 0 {
 		panic(fmt.Sprintf("network: bandwidth %v", bandwidthBps))
 	}
-	return &Link{simu: s, name: name, bandwidth: bandwidthBps, latency: latency}
+	l := &Link{simu: s, name: name, bandwidth: bandwidthBps, latency: latency}
+	l.onDone = l.transferDone
+	return l
 }
 
 // Name returns the link's identifier.
@@ -105,7 +116,13 @@ func (l *Link) Send(bytes int64, pri Priority, label string, done func()) {
 	if pri < 0 || pri >= numPriorities {
 		panic(fmt.Sprintf("network: priority %d", pri))
 	}
-	l.queues[pri] = append(l.queues[pri], &transfer{bytes: bytes, label: label, done: done})
+	l.queues[pri] = append(l.queues[pri], transfer{bytes: bytes, done: done})
+	l.pump()
+}
+
+// sendBulk enqueues one chunk of a bulk stream (no per-chunk closure).
+func (l *Link) sendBulk(bytes int64, pri Priority, bt *BulkTransfer) {
+	l.queues[pri] = append(l.queues[pri], transfer{bytes: bytes, bulk: bt})
 	l.pump()
 }
 
@@ -113,32 +130,42 @@ func (l *Link) pump() {
 	if l.busy {
 		return
 	}
-	var tr *transfer
-	var pri Priority
+	pri := Priority(-1)
 	for p := Priority(0); p < numPriorities; p++ {
 		if len(l.queues[p]) > 0 {
-			tr = l.queues[p][0]
-			l.queues[p] = l.queues[p][1:]
 			pri = p
 			break
 		}
 	}
-	if tr == nil {
+	if pri < 0 {
 		return
 	}
+	q := l.queues[pri]
+	tr := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = transfer{}
+	l.queues[pri] = q[:len(q)-1]
 	l.busy = true
+	l.cur = tr
+	l.curPri = pri
 	l.busySince = l.simu.Now()
-	d := l.TransferTime(tr.bytes)
-	l.simu.After(d, "net:"+tr.label, func() {
-		l.busy = false
-		l.busyTotal += l.simu.Now().Sub(l.busySince)
-		l.bytesSent += tr.bytes
-		l.sendsByPri[pri]++
-		if tr.done != nil {
-			tr.done()
-		}
-		l.pump()
-	})
+	l.simu.After(l.TransferTime(tr.bytes), "net", l.onDone)
+}
+
+// transferDone completes the in-flight transfer and pumps the next one.
+func (l *Link) transferDone() {
+	tr, pri := l.cur, l.curPri
+	l.cur = transfer{}
+	l.busy = false
+	l.busyTotal += l.simu.Now().Sub(l.busySince)
+	l.bytesSent += tr.bytes
+	l.sendsByPri[pri]++
+	if tr.bulk != nil {
+		tr.bulk.chunkLanded()
+	} else if tr.done != nil {
+		tr.done()
+	}
+	l.pump()
 }
 
 // BulkTransfer is a pausable chunked send used for KVCache exchange and
@@ -155,6 +182,11 @@ type BulkTransfer struct {
 	paused    bool
 	inflight  bool
 	cancelled bool
+
+	// curN is the in-flight chunk's size; the link dispatches chunk
+	// completion straight to chunkLanded, so long bulk streams schedule no
+	// per-chunk closures.
+	curN int64
 
 	// OnChunk, when set, fires after each chunk lands with that chunk's
 	// byte count (observability). Set it right after SendChunked returns:
@@ -184,6 +216,19 @@ func (l *Link) SendChunked(totalBytes, chunkBytes int64, pri Priority, label str
 	}
 	bt.next()
 	return bt
+}
+
+// chunkLanded completes the in-flight chunk and issues the next one.
+func (bt *BulkTransfer) chunkLanded() {
+	bt.inflight = false
+	if bt.cancelled {
+		return
+	}
+	bt.remaining -= bt.curN
+	if bt.OnChunk != nil {
+		bt.OnChunk(bt.curN)
+	}
+	bt.next()
 }
 
 // Remaining returns bytes not yet sent.
@@ -230,17 +275,8 @@ func (bt *BulkTransfer) next() {
 		n = bt.remaining
 	}
 	bt.inflight = true
-	bt.link.Send(n, bt.pri, bt.label, func() {
-		bt.inflight = false
-		if bt.cancelled {
-			return
-		}
-		bt.remaining -= n
-		if bt.OnChunk != nil {
-			bt.OnChunk(n)
-		}
-		bt.next()
-	})
+	bt.curN = n
+	bt.link.sendBulk(n, bt.pri, bt)
 }
 
 // Fabric is the cluster's scale-out network: one egress link per instance.

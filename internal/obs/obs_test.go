@@ -247,3 +247,18 @@ func TestWriteTraceEmpty(t *testing.T) {
 		t.Fatalf("empty trace has %d events", len(tf.TraceEvents))
 	}
 }
+
+// Tracing off must be genuinely free: every ReqTracker method on the nil
+// receiver (the untraced cluster's configuration) is a branch, not an
+// allocation.
+func TestAllocsNilReqTracker(t *testing.T) {
+	var rt *ReqTracker
+	avg := testing.AllocsPerRun(100, func() {
+		rt.Transition(0, 1, "decode", 0)
+		rt.Instant(0, 1, "preempt", 0)
+		rt.End(0, 1)
+	})
+	if avg != 0 {
+		t.Fatalf("nil-tracker calls allocated %v objects/op, want 0", avg)
+	}
+}

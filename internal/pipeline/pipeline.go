@@ -33,6 +33,17 @@ type Stage struct {
 	busy  bool
 	queue []*flight
 
+	// active is the flight executing on the stage (busy == true).
+	active *flight
+	// transit holds flights whose activations are on the wire to the next
+	// stage, in send order — the link delivers same-priority transfers
+	// FIFO, so the head is always the next to arrive.
+	transit []*flight
+	// execDone/arrived are this stage's persistent completion callbacks
+	// (built by New), so steady-state execution schedules no closures.
+	execDone func()
+	arrived  func()
+
 	busyTotal sim.Duration
 	busySince sim.Time
 }
@@ -65,6 +76,10 @@ type Engine struct {
 	spanStart sim.Time
 	spanTotal sim.Duration
 	running   bool
+
+	// flightFree recycles flight structs (and their work slices) across
+	// rounds, so a steady-state round allocates nothing per microbatch.
+	flightFree []*flight
 }
 
 // New creates an engine over the given stages.
@@ -75,7 +90,28 @@ func New(s *sim.Simulation, stages []*Stage, activationBytesPerToken int64) *Eng
 	if activationBytesPerToken <= 0 {
 		panic(fmt.Sprintf("pipeline: activation bytes %d", activationBytesPerToken))
 	}
-	return &Engine{simu: s, stages: stages, activationBytesPerToken: activationBytesPerToken}
+	e := &Engine{simu: s, stages: stages, activationBytesPerToken: activationBytesPerToken}
+	for i, st := range stages {
+		i, st := i, st
+		st.execDone = func() { e.stageExecDone(i) }
+		st.arrived = func() { e.stageArrived(i) }
+	}
+	return e
+}
+
+func (e *Engine) getFlight() *flight {
+	if n := len(e.flightFree); n > 0 {
+		f := e.flightFree[n-1]
+		e.flightFree[n-1] = nil
+		e.flightFree = e.flightFree[:n-1]
+		return f
+	}
+	return &flight{}
+}
+
+func (e *Engine) putFlight(f *flight) {
+	f.items = nil
+	e.flightFree = append(e.flightFree, f)
 }
 
 // Stages returns the stage count.
@@ -112,26 +148,30 @@ func (e *Engine) RunRound(microbatches [][]batching.Item, done func()) {
 	if e.running {
 		panic("pipeline: round already running")
 	}
-	var flights []*flight
+	n := 0
 	for _, mb := range microbatches {
-		if len(mb) == 0 {
-			continue
+		if len(mb) > 0 {
+			n++
 		}
-		flights = append(flights, &flight{
-			items: mb,
-			work:  batching.ToChunkWork(mb),
-			index: len(flights),
-		})
 	}
-	if len(flights) == 0 {
+	if n == 0 {
 		done()
 		return
 	}
 	e.running = true
-	e.inFlight = len(flights)
+	e.inFlight = n
 	e.roundDone = done
 	e.spanStart = e.simu.Now()
-	for _, f := range flights {
+	idx := 0
+	for _, mb := range microbatches {
+		if len(mb) == 0 {
+			continue
+		}
+		f := e.getFlight()
+		f.items = mb
+		f.work = batching.AppendChunkWork(f.work[:0], mb)
+		f.index = idx
+		idx++
 		e.enqueue(0, f)
 	}
 }
@@ -148,24 +188,46 @@ func (e *Engine) pump(stage int) {
 		return
 	}
 	f := st.queue[0]
-	st.queue = st.queue[1:]
+	copy(st.queue, st.queue[1:])
+	st.queue[len(st.queue)-1] = nil
+	st.queue = st.queue[:len(st.queue)-1]
 	st.busy = true
+	st.active = f
 	st.busySince = e.simu.Now()
 	d := st.Timer.MicrobatchTime(f.work)
-	e.simu.After(d, fmt.Sprintf("pipeline:stage%d:mb%d", stage, f.index), func() {
-		now := e.simu.Now()
-		st.busy = false
-		st.busyTotal += now.Sub(st.busySince)
-		if e.OnStageBusy != nil {
-			e.OnStageBusy(stage, st.busySince, now)
-		}
-		e.advance(stage, f)
-		e.pump(stage)
-	})
+	e.simu.After(d, "pipeline:exec", st.execDone)
+}
+
+// stageExecDone completes the stage's active microbatch execution.
+func (e *Engine) stageExecDone(stage int) {
+	st := e.stages[stage]
+	f := st.active
+	st.active = nil
+	now := e.simu.Now()
+	st.busy = false
+	st.busyTotal += now.Sub(st.busySince)
+	if e.OnStageBusy != nil {
+		e.OnStageBusy(stage, st.busySince, now)
+	}
+	e.advance(stage, f)
+	e.pump(stage)
+}
+
+// stageArrived lands the stage's oldest in-transit activation transfer on
+// the next stage. Transfers of one priority class complete in send order on
+// a link, so the transit head is always the one that arrived.
+func (e *Engine) stageArrived(stage int) {
+	st := e.stages[stage]
+	f := st.transit[0]
+	copy(st.transit, st.transit[1:])
+	st.transit[len(st.transit)-1] = nil
+	st.transit = st.transit[:len(st.transit)-1]
+	e.enqueue(stage+1, f)
 }
 
 func (e *Engine) advance(stage int, f *flight) {
 	if stage == len(e.stages)-1 {
+		e.putFlight(f)
 		e.inFlight--
 		if e.inFlight == 0 {
 			e.running = false
@@ -180,8 +242,6 @@ func (e *Engine) advance(stage int, f *flight) {
 	// proportional to the microbatch's new tokens.
 	bytes := int64(batching.TotalTokens(f.items)) * e.activationBytesPerToken
 	st := e.stages[stage]
-	st.Egress.Send(bytes, network.PriorityActivation,
-		fmt.Sprintf("act:s%d:mb%d", stage, f.index), func() {
-			e.enqueue(stage+1, f)
-		})
+	st.transit = append(st.transit, f)
+	st.Egress.Send(bytes, network.PriorityActivation, "act", st.arrived)
 }

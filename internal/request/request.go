@@ -113,6 +113,13 @@ type Request struct {
 	// GroupID is the serving group currently responsible for the request.
 	GroupID int
 
+	// RoundLock is the engine-owned reservation stamp: the scheduling
+	// round in which this request's KV was last reserved. The engine
+	// compares it against its current round stamp to rule the request out
+	// as a preemption victim mid-round; stamps are namespaced per group,
+	// so a migrated request's stale stamp can never match.
+	RoundLock uint64
+
 	// Preemptions counts recompute-preemptions (vLLM baseline) for
 	// diagnostics.
 	Preemptions int
@@ -128,6 +135,54 @@ func New(id int, arrival sim.Time, inputLen, outputLen int) *Request {
 		prefillTarget: inputLen,
 		state:         StateQueued,
 	}
+}
+
+// Renew re-initializes a recycled request struct exactly as New would,
+// erasing every trace of the prior lifecycle. IDs are globally unique per
+// run (they come from the trace), so recycled structs never collide in
+// ID-keyed bookkeeping.
+func (r *Request) Renew(id int, arrival sim.Time, inputLen, outputLen int) {
+	if inputLen <= 0 || outputLen <= 0 {
+		panic(fmt.Sprintf("request %d: lens %d/%d", id, inputLen, outputLen))
+	}
+	*r = Request{
+		ID: id, Arrival: arrival, InputLen: inputLen, OutputLen: outputLen,
+		prefillTarget: inputLen,
+		state:         StateQueued,
+	}
+}
+
+// Pool recycles finished Request structs. The serving cluster allocates
+// every arrival through it and returns requests as they finish, so a
+// steady-state run's live request footprint is its concurrency, not its
+// trace length. Not safe for concurrent use (a cluster is single-threaded
+// inside its simulation).
+type Pool struct {
+	free []*Request
+}
+
+// Get returns a queued request, recycling a finished struct when one is
+// available.
+func (p *Pool) Get(id int, arrival sim.Time, inputLen, outputLen int) *Request {
+	n := len(p.free)
+	if n == 0 {
+		return New(id, arrival, inputLen, outputLen)
+	}
+	r := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	r.Renew(id, arrival, inputLen, outputLen)
+	return r
+}
+
+// Put recycles a finished request. Returning a request in any other state
+// panics: a live request reachable from scheduler bookkeeping must never
+// be handed out again.
+func (p *Pool) Put(r *Request) {
+	if r.state != StateFinished {
+		panic(fmt.Sprintf("request %d: pooling in state %v", r.ID, r.state))
+	}
+	p.free = append(p.free, r)
 }
 
 // State returns the current lifecycle state.

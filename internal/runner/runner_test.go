@@ -245,3 +245,66 @@ func TestDeriveSeed(t *testing.T) {
 		t.Errorf("only %d distinct seeds", len(seen))
 	}
 }
+
+// Bounded-memory collectors retain no records, so classBreakdown must read
+// the incrementally maintained attainment counters instead of replaying the
+// (empty) record slice — which would report zero attainment for everything.
+func TestClassBreakdownBounded(t *testing.T) {
+	col := metrics.NewCollector(sim.Second)
+	col.Bound(8, 42, map[string]metrics.SLOTarget{
+		"interactive": {TTFT: 1, TBT: 0.1},
+	})
+	// One request attains both targets (TTFT 0.5 s, TPOT 50 ms)...
+	col.Finish(metrics.RequestRecord{
+		ID: 1, Arrival: 0, FirstToken: sim.FromSeconds(0.5),
+		Completed: sim.FromSeconds(0.55), OutputTokens: 2, Class: "interactive",
+	})
+	// ...one misses TTFT (2 s > 1 s).
+	col.Finish(metrics.RequestRecord{
+		ID: 2, Arrival: 0, FirstToken: sim.FromSeconds(2),
+		Completed: sim.FromSeconds(2.05), OutputTokens: 2, Class: "interactive",
+	})
+	col.EmitTokens(sim.FromSeconds(1), 4)
+	if len(col.Records) != 0 {
+		t.Fatalf("bounded collector retained %d records", len(col.Records))
+	}
+	targets := sched.ClassTargets{"interactive": {TTFT: 1, TBT: 0.1}}
+	rows := classBreakdown(col, targets, 10)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	row := rows[0]
+	if row.Finished != 2 {
+		t.Errorf("Finished = %d, want 2", row.Finished)
+	}
+	if row.Attainment != 0.5 {
+		t.Errorf("Attainment = %v, want 0.5 (from incremental counters)", row.Attainment)
+	}
+	if row.Goodput != 0.1 {
+		t.Errorf("Goodput = %v, want 0.1", row.Goodput)
+	}
+	if row.TTFTP99 != 2 {
+		t.Errorf("TTFTP99 = %v, want 2", row.TTFTP99)
+	}
+}
+
+// Streaming cells get the reservoir default and lazy arrivals injected at
+// Add time; cells that chose their own reservoir keep it.
+func TestSetStreamingInjection(t *testing.T) {
+	tr := testTrace()
+	s := NewSet(1)
+	s.Streaming = true
+	s.Add(testCell("a", 1, tr))
+	custom := testCell("b", 1, tr)
+	custom.Cluster.MetricsReservoir = 128
+	s.Add(custom)
+	if got := s.cells[0].Cluster.MetricsReservoir; got != DefaultReservoir {
+		t.Errorf("default cell reservoir = %d, want %d", got, DefaultReservoir)
+	}
+	if !s.cells[0].Cluster.LazyArrivals {
+		t.Error("streaming cell did not get lazy arrivals")
+	}
+	if got := s.cells[1].Cluster.MetricsReservoir; got != 128 {
+		t.Errorf("custom cell reservoir = %d, want 128 preserved", got)
+	}
+}

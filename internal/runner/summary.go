@@ -158,29 +158,43 @@ func classBreakdown(col *metrics.Collector, targets sched.ClassTargets, spanSeco
 		}
 	}
 	sort.Strings(names)
-	// One pass over the records buckets SLO-attaining counts per class.
+	// One pass over the records buckets SLO-attaining counts per class. In
+	// bounded-memory mode the collector retains no records and instead
+	// maintains the attained counts incrementally; replaying the (empty)
+	// record slice would report zero attainment for everything.
 	attained := make(map[string]int, len(names))
-	for _, rec := range col.Records {
-		if rec.Class == "" {
-			continue
+	if col.Bounded() {
+		for _, n := range names {
+			attained[n] = col.ClassAttained(n)
 		}
-		tgt := targets[rec.Class]
-		if tgt.TTFT > 0 && rec.TTFT() > tgt.TTFT {
-			continue
+	} else {
+		for _, rec := range col.Records {
+			if rec.Class == "" {
+				continue
+			}
+			tgt := targets[rec.Class]
+			if tgt.TTFT > 0 && rec.TTFT() > tgt.TTFT {
+				continue
+			}
+			if tgt.TBT > 0 && rec.OutputTokens > 1 && rec.TPOT() > tgt.TBT {
+				continue
+			}
+			attained[rec.Class]++
 		}
-		if tgt.TBT > 0 && rec.OutputTokens > 1 && rec.TPOT() > tgt.TBT {
-			continue
-		}
-		attained[rec.Class]++
 	}
+	// emptyDist backs classes with no finished requests. The collector's
+	// dists are read through their pointers — copying a Dist by value
+	// would share its sample array but drop the sorted memo, re-sorting
+	// the same samples on every percentile read.
+	var emptyDist metrics.Dist
 	out := make([]ClassSummary, 0, len(names))
 	for _, name := range names {
-		var ttft, tpot metrics.Dist
-		if d := col.ClassTTFT[name]; d != nil {
-			ttft = *d
+		ttft, tpot := col.ClassTTFT[name], col.ClassTPOT[name]
+		if ttft == nil {
+			ttft = &emptyDist
 		}
-		if d := col.ClassTPOT[name]; d != nil {
-			tpot = *d
+		if tpot == nil {
+			tpot = &emptyDist
 		}
 		cs := ClassSummary{
 			Class:      name,

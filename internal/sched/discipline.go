@@ -9,9 +9,12 @@ import (
 
 // FCFS is the default first-come-first-served discipline: Push appends,
 // PushFront literally prepends (the preemption re-queue path), admission
-// pops the head. It reproduces the original raw wait-queue slice exactly.
+// pops the head. It reproduces the original raw wait-queue slice exactly,
+// stored as a deque (head index into a reused backing array) so the
+// preemption-heavy pop/push-front churn allocates nothing in steady state.
 type FCFS struct {
-	q []*request.Request
+	q    []*request.Request
+	head int
 }
 
 // NewFCFS returns an empty FCFS queue.
@@ -25,40 +28,52 @@ func (f *FCFS) Push(r *request.Request) { f.q = append(f.q, r) }
 
 // PushFront implements Discipline.
 func (f *FCFS) PushFront(r *request.Request) {
-	f.q = append([]*request.Request{r}, f.q...)
+	if f.head > 0 {
+		f.head--
+		f.q[f.head] = r
+		return
+	}
+	f.q = append(f.q, nil)
+	copy(f.q[1:], f.q)
+	f.q[0] = r
 }
 
 // Peek implements Discipline.
 func (f *FCFS) Peek() *request.Request {
-	if len(f.q) == 0 {
+	if f.head == len(f.q) {
 		return nil
 	}
-	return f.q[0]
+	return f.q[f.head]
 }
 
 // Pop implements Discipline.
 func (f *FCFS) Pop() *request.Request {
-	if len(f.q) == 0 {
+	if f.head == len(f.q) {
 		return nil
 	}
-	r := f.q[0]
-	f.q = f.q[1:]
+	r := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
 	return r
 }
 
 // Len implements Discipline.
-func (f *FCFS) Len() int { return len(f.q) }
+func (f *FCFS) Len() int { return len(f.q) - f.head }
 
 // Items implements Discipline.
 func (f *FCFS) Items() []*request.Request {
-	out := make([]*request.Request, len(f.q))
-	copy(out, f.q)
+	out := make([]*request.Request, f.Len())
+	copy(out, f.q[f.head:])
 	return out
 }
 
 // Each implements Discipline.
 func (f *FCFS) Each(fn func(*request.Request)) {
-	for _, r := range f.q {
+	for _, r := range f.q[f.head:] {
 		fn(r)
 	}
 }

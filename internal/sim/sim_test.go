@@ -80,12 +80,12 @@ func TestCancelPreventsFiring(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() = false")
+	if e.Pending() {
+		t.Fatal("Pending() = true after cancel")
 	}
-	// Double-cancel and cancel-after-run are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(Handle{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
@@ -216,13 +216,100 @@ func TestPropertyEventOrdering(t *testing.T) {
 	}
 }
 
+// A handle to a fired event goes stale when the struct is recycled for a
+// new schedule: cancelling through it must not kill the new event.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	s := New(1)
+	firstFired, secondFired := false, false
+	first := s.At(FromSeconds(1), "first", func() { firstFired = true })
+	if !s.Step() {
+		t.Fatal("Step returned false with a queued event")
+	}
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	// The fired struct is first in line on the free list, so this schedule
+	// recycles it under a new generation.
+	second := s.At(FromSeconds(2), "second", func() { secondFired = true })
+	if first.Pending() {
+		t.Fatal("handle to fired event still pending")
+	}
+	s.Cancel(first) // stale: must be a no-op
+	if !second.Pending() {
+		t.Fatal("stale cancel killed the recycled event")
+	}
+	s.Run()
+	if !secondFired {
+		t.Fatal("recycled event did not fire")
+	}
+	if first.At() != 0 {
+		t.Fatalf("stale handle At() = %v, want 0", first.At())
+	}
+}
+
+// A cancelled event's struct, once recycled for a new schedule, fires
+// exactly once for the new callback — never for the cancelled one.
+func TestCancelledThenRecycledEventNeverFires(t *testing.T) {
+	s := New(1)
+	cancelledFired := false
+	fires := 0
+	h := s.At(FromSeconds(1), "doomed", func() { cancelledFired = true })
+	s.Cancel(h)
+	// Recycles the cancelled struct.
+	s.At(FromSeconds(1), "fresh", func() { fires++ })
+	s.Cancel(h) // still stale, still a no-op
+	s.Run()
+	if cancelledFired {
+		t.Fatal("cancelled event fired after recycling")
+	}
+	if fires != 1 {
+		t.Fatalf("recycled event fired %d times, want 1", fires)
+	}
+}
+
+// Pooling must make the steady-state schedule/fire cycle allocation-free:
+// once the pool is primed, neither scheduling nor firing touches the heap.
+func TestAllocsSteadyStateScheduleFire(t *testing.T) {
+	s := New(1)
+	// Prime the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		s.After(Duration(i)*Microsecond, "prime", func() {})
+	}
+	s.Run()
+	fn := func() {}
+	avg := testing.AllocsPerRun(100, func() {
+		s.After(Microsecond, "steady", fn)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+fire allocated %v objects/op, want 0", avg)
+	}
+}
+
+// The schedule/cancel cycle must be allocation-free at steady state too.
+func TestAllocsSteadyStateScheduleCancel(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 64; i++ {
+		s.After(Duration(i)*Microsecond, "prime", func() {})
+	}
+	s.Run()
+	fn := func() {}
+	avg := testing.AllocsPerRun(100, func() {
+		h := s.After(Microsecond, "steady", fn)
+		s.Cancel(h)
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+cancel allocated %v objects/op, want 0", avg)
+	}
+}
+
 // Property: interleaved schedule/cancel sequences never fire cancelled
 // events and always fire non-cancelled ones.
 func TestPropertyCancelSoundness(t *testing.T) {
 	f := func(cancelMask []bool) bool {
 		s := New(3)
 		fired := make([]bool, len(cancelMask))
-		events := make([]*Event, len(cancelMask))
+		events := make([]Handle, len(cancelMask))
 		for i := range cancelMask {
 			i := i
 			events[i] = s.After(Duration(i+1)*Millisecond, "p", func() { fired[i] = true })
