@@ -32,6 +32,10 @@ type Group struct {
 	pipe      *pipeline.Engine
 	pool      *kvcache.Pool
 	exec      *engine.Engine
+
+	// planFn is the engine's PlanRound as a persistent closure, so the
+	// monitor's per-tick plan fan-out allocates nothing.
+	planFn func()
 }
 
 // newGroup wires a group over instances that must already hold the layer
@@ -113,6 +117,7 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 			},
 		},
 	})
+	g.planFn = g.exec.PlanRound
 	return g, nil
 }
 
@@ -183,6 +188,10 @@ func (g *Group) RunningLen() int { return g.exec.RunningLen() }
 
 // RoundsRun returns completed scheduling rounds (diagnostics only).
 func (g *Group) RoundsRun() int { return g.exec.RoundsRun() }
+
+// PlanStats reports how many speculative round plans the engine consumed
+// (hits) versus discarded after input mutation (misses). Diagnostics only.
+func (g *Group) PlanStats() (hits, misses uint64) { return g.exec.PlanStats() }
 
 // Enqueue adds a request to the wait queue under the group's discipline.
 func (g *Group) Enqueue(r *request.Request) { g.exec.Enqueue(r) }

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"kunserve/internal/gpu"
+	"kunserve/internal/metrics"
+	"kunserve/internal/model"
+	"kunserve/internal/sim"
+)
+
+// serveParallel runs one hot multi-group trace at the given intra-cell
+// worker bound and returns the collector plus consumed-plan count.
+func serveParallel(t *testing.T, workers int) (*metrics.Collector, uint64) {
+	t.Helper()
+	c, err := New(Config{
+		Seed:              1,
+		Model:             model.Qwen25_14B(),
+		GPU:               gpu.A800(),
+		Instances:         4,
+		Policy:            recomputePolicy{},
+		IntraCellParallel: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight arrivals across 4 groups: rounds from different groups land on
+	// the same monitor-synchronized instants, which is what the plan
+	// fan-out exists for.
+	col := c.Serve(smallTrace(64, 0.05, 1024, 96), sim.FromSeconds(120))
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d at workers=%d", c.Outstanding(), workers)
+	}
+	var hits uint64
+	for _, g := range c.Groups() {
+		h, _ := g.PlanStats()
+		hits += h
+	}
+	return col, hits
+}
+
+// TestIntraCellParallelMatchesSequential is the tentpole identity at the
+// cluster level: the same trace served with the intra-cell worker pool on
+// produces a collector deep-equal to the sequential run, and the parallel
+// run actually consumed speculative plans (otherwise the fan-out is dead
+// code and the test would vacuously pass).
+func TestIntraCellParallelMatchesSequential(t *testing.T) {
+	seq, seqHits := serveParallel(t, 0)
+	if seqHits != 0 {
+		t.Fatalf("sequential run consumed %d plans; planning must be parallel-only", seqHits)
+	}
+	for _, workers := range []int{2, 4} {
+		par, hits := serveParallel(t, workers)
+		if hits == 0 {
+			t.Errorf("workers=%d consumed no speculative plans", workers)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d collector differs from sequential", workers)
+		}
+	}
+}
+
+// TestIntraCellParallelPipelined covers the planned path for pipelined
+// (multi-stage) groups, whose rounds interleave with pipeline completion
+// events rather than running to quiescence.
+func TestIntraCellParallelPipelined(t *testing.T) {
+	run := func(workers int) *metrics.Collector {
+		c, err := New(Config{
+			Seed:              1,
+			Model:             model.Qwen25_14B(),
+			GPU:               gpu.A800(),
+			Instances:         4,
+			Policy:            ppSetupPolicy{},
+			IntraCellParallel: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Serve(smallTrace(32, 0.1, 768, 64), sim.FromSeconds(120))
+	}
+	if !reflect.DeepEqual(run(0), run(4)) {
+		t.Fatal("pipelined parallel run differs from sequential")
+	}
+}

@@ -13,8 +13,10 @@ import (
 )
 
 // newLookaheadFormer adapts the lookahead former to the cluster interface.
+// Each policy instance (one per cell) gets its own evaluation memo: Form
+// runs on the cell's commit path, so the memo stays single-threaded.
 func newLookaheadFormer(m *costmodel.Model, minTokens int) cluster.Former {
-	return &lookahead.Former{Model: m, MinTokens: minTokens}
+	return &lookahead.Former{Model: m, MinTokens: minTokens, Cache: costmodel.NewEvalCache(m)}
 }
 
 // maybeDrop checks the overload condition and, when triggered, derives and

@@ -26,11 +26,25 @@ type Former struct {
 	Model *costmodel.Model
 	// MinTokens floors microbatch size; <= 0 uses DefaultMinTokens.
 	MinTokens int
+	// Cache, when set, memoizes Eq. 1 evaluations. The balance recursion
+	// re-evaluates every item at each level and cutTokens binary-searches
+	// the same prefix over and over; a hit returns the exact bits a fresh
+	// evaluation would, so splitting decisions — and results — are
+	// unchanged. Single-consumer: share a Former, not a Cache.
+	Cache *costmodel.EvalCache
+}
+
+// chunkSeconds evaluates Eq. 1 through the memo when one is attached.
+func (f *Former) chunkSeconds(prefix, chunk int) float64 {
+	if f.Cache != nil {
+		return f.Cache.ChunkSeconds(prefix, chunk)
+	}
+	return f.Model.ChunkSeconds(prefix, chunk)
 }
 
 // itemCost evaluates one item under the model.
 func (f *Former) itemCost(it batching.Item) float64 {
-	return f.Model.ChunkSeconds(it.Prefix, it.Chunk)
+	return f.chunkSeconds(it.Prefix, it.Chunk)
 }
 
 // batchCost evaluates a microbatch under the model (Eq. 2–3).
@@ -144,7 +158,7 @@ func (f *Former) cutTokens(it batching.Item, want float64) int {
 	lo, hi := 0, it.Chunk
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if f.Model.ChunkSeconds(it.Prefix, mid) <= want {
+		if f.chunkSeconds(it.Prefix, mid) <= want {
 			lo = mid
 		} else {
 			hi = mid - 1

@@ -1,0 +1,57 @@
+package costmodel
+
+// EvalCache memoizes ChunkSeconds evaluations. Decode-heavy rounds present
+// the same (prefix, chunk) signatures millions of times over an hour-long
+// run, and the lookahead balance recursion re-evaluates every item once per
+// recursion level on top of that; caching the pure Eq. 1 value removes the
+// repeated float work without any chance of perturbing results — a hit
+// returns the exact bits a fresh evaluation would.
+//
+// The cache is single-consumer (one per lookahead Former, which runs on its
+// cluster's commit path): it is not safe for concurrent use.
+type EvalCache struct {
+	m     *Model
+	table map[evalKey]float64
+	hits  uint64
+	miss  uint64
+}
+
+type evalKey struct {
+	prefix int32
+	chunk  int32
+}
+
+// evalCacheMax bounds the table; past it, new signatures evaluate directly
+// instead of growing the map (real workloads saturate far below this —
+// chunk values quantize to the budget and prefix values to context lengths).
+const evalCacheMax = 1 << 18
+
+// NewEvalCache builds a memoizing evaluator over m.
+func NewEvalCache(m *Model) *EvalCache {
+	return &EvalCache{m: m, table: make(map[evalKey]float64, 1024)}
+}
+
+// Model returns the wrapped model.
+func (c *EvalCache) Model() *Model { return c.m }
+
+// ChunkSeconds returns m.ChunkSeconds(prefix, chunk), memoized.
+func (c *EvalCache) ChunkSeconds(prefix, chunk int) float64 {
+	k := evalKey{int32(prefix), int32(chunk)}
+	if int(k.prefix) != prefix || int(k.chunk) != chunk {
+		// Out of key range (never in practice): evaluate directly.
+		return c.m.ChunkSeconds(prefix, chunk)
+	}
+	if v, ok := c.table[k]; ok {
+		c.hits++
+		return v
+	}
+	c.miss++
+	v := c.m.ChunkSeconds(prefix, chunk)
+	if len(c.table) < evalCacheMax {
+		c.table[k] = v
+	}
+	return v
+}
+
+// Stats reports cache hits and misses (benchmarks and tests).
+func (c *EvalCache) Stats() (hits, misses uint64) { return c.hits, c.miss }

@@ -1,0 +1,42 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"kunserve/internal/gpu"
+	"kunserve/internal/model"
+)
+
+func TestEvalCacheExactBits(t *testing.T) {
+	timer := gpu.NewTimer(gpu.A800(), model.Qwen25_14B(), 1)
+	m, err := FitFromTimer(timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewEvalCache(m)
+	probes := [][2]int{{0, 1}, {0, 512}, {700, 1}, {700, 512}, {16384, 2048}}
+	// Two passes: the second must be all hits, both must be bit-exact.
+	for pass := 0; pass < 2; pass++ {
+		for _, p := range probes {
+			got := c.ChunkSeconds(p[0], p[1])
+			want := m.ChunkSeconds(p[0], p[1])
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("pass %d: ChunkSeconds(%d, %d) = %v, want %v (bits differ)",
+					pass, p[0], p[1], got, want)
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	if int(misses) != len(probes) || int(hits) != len(probes) {
+		t.Fatalf("hits/misses = %d/%d, want %d/%d", hits, misses, len(probes), len(probes))
+	}
+	// Out-of-int32-range signatures bypass the table but still evaluate.
+	huge := int(math.MaxInt32) + 1
+	if got, want := c.ChunkSeconds(huge, 1), m.ChunkSeconds(huge, 1); got != want {
+		t.Fatalf("out-of-range eval = %v, want %v", got, want)
+	}
+	if h2, m2 := c.Stats(); h2 != hits || m2 != misses {
+		t.Fatalf("out-of-range probe touched the table: %d/%d -> %d/%d", hits, misses, h2, m2)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"kunserve/internal/sim"
+)
+
+// TestIntraCellParallelStress hammers the parallel round path with the
+// churniest regime the repo has: every system (KunServe's drop/restore
+// reconfigurations, Llumnix migration, InferCept swapping, recompute
+// preemption) over many groups under overload, where same-instant retry
+// rounds and monitor-tick fan-outs are constant. The results must be
+// deep-equal to the sequential run at every worker count. The CI race job
+// runs this test under -race, so it doubles as the data-race detector for
+// the compute/commit split.
+func TestIntraCellParallelStress(t *testing.T) {
+	cfg := Quick()
+	cfg.Instances = 4
+	cfg.Duration = 48 * sim.Second
+	cfg.LoadMultiplier = 1.3
+	cfg.Parallel = 1
+	run := func(workers int) *Figure12Result {
+		c := cfg
+		c.IntraCellParallel = workers
+		r, err := RunAllSystems(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if !reflect.DeepEqual(seq, run(workers)) {
+			t.Fatalf("intra-cell workers=%d differs from sequential", workers)
+		}
+	}
+}
+
+// TestIntraCellParallelDisagg covers the prefill/decode handoff machinery
+// (role-split engines, KV handoff transfers, decode re-admission) under the
+// intra-cell pool, composed with cell-level parallelism.
+func TestIntraCellParallelDisagg(t *testing.T) {
+	cfg := Quick()
+	cfg.Duration = 32 * sim.Second
+	run := func(workers int) *DisaggResult {
+		c := cfg
+		c.IntraCellParallel = workers
+		r, err := ExperimentDisagg(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if !reflect.DeepEqual(run(1), run(4)) {
+		t.Fatal("disagg intra-cell parallel run differs from sequential")
+	}
+}
+
+// TestScaleIntraCellIdentical locks the scale sweep's simulation results
+// (everything but the host-timing block) across intra-cell worker counts —
+// the same invariant CI's determinism job enforces on the full ladder.
+func TestScaleIntraCellIdentical(t *testing.T) {
+	cfg := Quick()
+	cfg.Instances = 4
+	cfg.Duration = 16 * sim.Second
+	run := func(workers int) *ScaleResult {
+		c := cfg
+		c.IntraCellParallel = workers
+		r, err := ExperimentScale(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Timing == nil {
+			t.Fatal("scale result carries no timing block")
+		}
+		if r.Timing.IntraCellParallel != workers {
+			t.Fatalf("timing reports %d workers, want %d", r.Timing.IntraCellParallel, workers)
+		}
+		for _, rt := range r.Timing.Rungs {
+			if rt.WallSeconds <= 0 || len(rt.Cells) != len(scaleSystems) {
+				t.Fatalf("rung %d timing malformed: %+v", rt.Instances, rt)
+			}
+		}
+		r.Timing = nil // host-dependent by nature; identity applies to the rest
+		for i := range r.Rungs {
+			r.Rungs[i].WallSeconds = 0
+		}
+		return r
+	}
+	if !reflect.DeepEqual(run(1), run(4)) {
+		t.Fatal("scale results differ across intra-cell worker counts")
+	}
+}

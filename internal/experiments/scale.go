@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"kunserve/internal/cluster"
@@ -39,10 +40,42 @@ type ScaleRung struct {
 
 	Systems []ScaleCell
 
-	// WallSeconds is the host wall-clock time the rung's run matrix took.
-	// Excluded from JSON: machine-dependent numbers must not leak into
-	// artifacts that are diffed across runs.
+	// WallSeconds is the slowest cell's host wall-clock span at this rung.
+	// Rungs overlap across the run set's worker pool, so a rung has no wall
+	// of its own; the slowest cell is what bounds it. Excluded from the
+	// simulation-result JSON surface via the Timing block instead — this
+	// mirror feeds the text printer only.
 	WallSeconds float64 `json:"-"`
+}
+
+// ScaleCellTiming is one cell's host wall clock inside the timing block.
+type ScaleCellTiming struct {
+	System      string
+	WallSeconds float64
+}
+
+// ScaleRungTiming is one rung's host timing: per-cell walls and their max.
+type ScaleRungTiming struct {
+	Instances   int
+	WallSeconds float64
+	Cells       []ScaleCellTiming
+}
+
+// ScaleTiming carries the sweep's host-side timing and worker configuration.
+// It is machine-dependent by nature, so determinism checks that diff scale
+// output across runs or worker counts must strip the "Timing" key first —
+// everything outside it is byte-identical at any parallelism.
+type ScaleTiming struct {
+	// Workers is the cell-level worker bound the sweep executed with.
+	Workers int
+	// IntraCellParallel is the per-simulation plan fan-out bound.
+	IntraCellParallel int
+	// GOMAXPROCS/NumCPU record the host the numbers were measured on.
+	GOMAXPROCS int
+	NumCPU     int
+	// TotalWallSeconds spans the whole sweep, trace generation included.
+	TotalWallSeconds float64
+	Rungs            []ScaleRungTiming
 }
 
 // ScaleResult is the cluster-scale streaming sweep: a ladder of fleet sizes
@@ -50,6 +83,8 @@ type ScaleRung struct {
 type ScaleResult struct {
 	Duration sim.Duration
 	Rungs    []ScaleRung
+	// Timing is the host-side wall-clock report (nil until the sweep ran).
+	Timing *ScaleTiming `json:"Timing,omitempty"`
 }
 
 // scaleLadder derives the fleet ladder from the target size: quarter, half,
@@ -70,17 +105,27 @@ func scaleLadder(target int) []int {
 	return ladder
 }
 
+// scaleSystems lists the systems every rung serves, in output order.
+var scaleSystems = []System{SysVLLMDP, SysKunServe}
+
 // ExperimentScale runs the cluster-scale streaming sweep: for each rung of
 // the fleet ladder, an hour-class sine-modulated diurnal trace (4 load
 // cycles over the configured duration) is served by vLLM (DP) and KunServe
 // with streaming metrics and lazy arrivals forced on, so memory stays
 // bounded by the live request population rather than the trace length.
-// Rungs run sequentially — peak footprint is one rung's trace — while the
-// systems within a rung share the runner's worker pool.
+// Every (rung x system) cell joins one shared run set, so small rungs
+// overlap the big one across cores instead of idling behind it; the sweep's
+// wall clock approaches the slowest single cell at 4+ workers. The price is
+// that all rung traces are generated up front (~1.75x the top rung's trace
+// in memory); results are byte-identical to per-rung sequential execution
+// because cells are self-contained and results return in submission order.
 func ExperimentScale(cfg Config) (*ScaleResult, error) {
 	cfg = cfg.withDefaults()
+	start := time.Now()
 	res := &ScaleResult{Duration: cfg.Duration}
 	period := cfg.Duration / 4
+	set := runner.NewSet(cfg.Parallel)
+	set.Obs = cfg.TraceSink
 	for _, n := range scaleLadder(cfg.Instances) {
 		rc := cfg
 		rc.Instances = n
@@ -98,25 +143,42 @@ func ExperimentScale(cfg Config) (*ScaleResult, error) {
 		}
 		seed := runner.DeriveSeed(rc.Seed, fmt.Sprintf("scale/%d", n))
 		tr := workload.GenerateProcess(seed, rc.Duration, proc, rc.Dataset)
-		defs := []cellDef{
-			{string(SysVLLMDP), func() cluster.Policy { return NewPolicy(SysVLLMDP) }},
-			{string(SysKunServe), func() cluster.Policy { return NewPolicy(SysKunServe) }},
+		res.Rungs = append(res.Rungs, ScaleRung{
+			Instances: n,
+			Requests:  len(tr.Requests),
+			AvgRPS:    tr.AvgRPS(),
+		})
+		for _, sys := range scaleSystems {
+			sys := sys
+			set.Add(runner.Cell{
+				Key:       fmt.Sprintf("scale/%d/%s", n, sys),
+				Cluster:   rc.clusterConfig(tr),
+				NewPolicy: func() cluster.Policy { return NewPolicy(sys) },
+				Trace:     tr,
+				Horizon:   tr.Duration().Add(rc.HorizonSlack),
+			})
 		}
-		start := time.Now()
-		results, err := rc.runMatrix(tr, defs)
-		if err != nil {
-			return nil, err
-		}
-		rung := ScaleRung{
-			Instances:   n,
-			Requests:    len(tr.Requests),
-			AvgRPS:      tr.AvgRPS(),
-			WallSeconds: time.Since(start).Seconds(),
-		}
-		for _, r := range results {
+	}
+	results, err := set.Execute()
+	if err != nil {
+		return nil, err
+	}
+	timing := &ScaleTiming{
+		Workers:           set.Parallel(),
+		IntraCellParallel: cfg.IntraCellParallel,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+	}
+	i := 0
+	for ri := range res.Rungs {
+		rung := &res.Rungs[ri]
+		rt := ScaleRungTiming{Instances: rung.Instances}
+		for _, sys := range scaleSystems {
+			r := results[i]
+			i++
 			s := r.Summary
 			rung.Systems = append(rung.Systems, ScaleCell{
-				System:     r.Key,
+				System:     string(sys),
 				Finished:   s.Finished,
 				Unserved:   s.Unserved,
 				TTFTP50:    s.TTFTP50,
@@ -126,9 +188,19 @@ func ExperimentScale(cfg Config) (*ScaleResult, error) {
 				Drops:      s.Drops,
 				Restores:   s.Restores,
 			})
+			rt.Cells = append(rt.Cells, ScaleCellTiming{
+				System:      string(sys),
+				WallSeconds: r.WallSeconds,
+			})
+			if r.WallSeconds > rt.WallSeconds {
+				rt.WallSeconds = r.WallSeconds
+			}
 		}
-		res.Rungs = append(res.Rungs, rung)
+		rung.WallSeconds = rt.WallSeconds
+		timing.Rungs = append(timing.Rungs, rt)
 	}
+	timing.TotalWallSeconds = time.Since(start).Seconds()
+	res.Timing = timing
 	return res, nil
 }
 
@@ -137,8 +209,12 @@ func PrintExperimentScale(w io.Writer, r *ScaleResult) {
 	printHeader(w, "Scale: streaming fleet sweep (diurnal load)")
 	fmt.Fprintf(w, "trace length %v, bounded metrics (reservoir %d), lazy arrivals\n",
 		r.Duration, runner.DefaultReservoir)
+	if t := r.Timing; t != nil {
+		fmt.Fprintf(w, "workers %d (intra-cell %d) on GOMAXPROCS %d / %d CPUs | total wall %.1fs\n",
+			t.Workers, t.IntraCellParallel, t.GOMAXPROCS, t.NumCPU, t.TotalWallSeconds)
+	}
 	for _, rung := range r.Rungs {
-		fmt.Fprintf(w, "%4d instances | %d requests, %.1f req/s avg | wall %.1fs\n",
+		fmt.Fprintf(w, "%4d instances | %d requests, %.1f req/s avg | slowest cell %.1fs\n",
 			rung.Instances, rung.Requests, rung.AvgRPS, rung.WallSeconds)
 		for _, c := range rung.Systems {
 			fmt.Fprintf(w, "    %-10s finished %7d  unserved %6d  TTFT p50/p99 %.2f/%.2f s  TPOT p99 %.0f ms  %.0f tok/s",

@@ -1,0 +1,84 @@
+package kvcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChainHashMemoEquivalence locks the memoized Pool.chainHash to the
+// reference definition: identical values for every (id, depth), in any
+// probe order, across memo resets.
+func TestChainHashMemoEquivalence(t *testing.T) {
+	p := NewPool(16, 16)
+	ids := []string{"", "a", "agent", "client-042", "другой", "a\x00b"}
+	// Forward, then backward (backward probes hit the memo mid-chain),
+	// then interleaved across ids.
+	for _, id := range ids {
+		for k := 0; k < 40; k++ {
+			if got, want := p.chainHash(id, k), chainHash(id, k); got != want {
+				t.Fatalf("chainHash(%q, %d) = %#x, want %#x", id, k, got, want)
+			}
+		}
+		for k := 39; k >= 0; k-- {
+			if got, want := p.chainHash(id, k), chainHash(id, k); got != want {
+				t.Fatalf("rewind chainHash(%q, %d) = %#x, want %#x", id, k, got, want)
+			}
+		}
+	}
+	for k := 0; k < 40; k += 7 {
+		for _, id := range ids {
+			if got, want := p.chainHash(id, k), chainHash(id, k); got != want {
+				t.Fatalf("interleaved chainHash(%q, %d) = %#x, want %#x", id, k, got, want)
+			}
+		}
+	}
+}
+
+// TestChainHashMemoCap exercises the defensive reset: past the cap the memo
+// restarts but values stay correct.
+func TestChainHashMemoCap(t *testing.T) {
+	p := NewPool(16, 16)
+	p.chainHashes = make(map[string][]uint64, chainHashCacheMax)
+	for i := 0; i < chainHashCacheMax; i++ {
+		p.chainHashes[fmt.Sprintf("filler-%d", i)] = []uint64{uint64(i)}
+	}
+	if got, want := p.chainHash("fresh", 3), chainHash("fresh", 3); got != want {
+		t.Fatalf("post-cap chainHash = %#x, want %#x", got, want)
+	}
+	if n := len(p.chainHashes); n != 1 {
+		t.Fatalf("memo holds %d entries after reset, want 1", n)
+	}
+}
+
+// BenchmarkKVCacheChainHash measures chain probing over a deep published
+// chain — the re-match path NewSeqCached takes per request. The memoized
+// variant resumes from cached states; the reference replays the chain per
+// block, quadratic in depth.
+func BenchmarkKVCacheChainHash(b *testing.B) {
+	const depth = 64 // a 1k-token prefix at 16-token blocks
+	bench := func(name string, fn func(p *Pool) uint64) {
+		b.Run(name, func(b *testing.B) {
+			p := NewPool(16, 16)
+			var sink uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += fn(p)
+			}
+			_ = sink
+		})
+	}
+	bench("memo", func(p *Pool) uint64 {
+		var h uint64
+		for k := 0; k < depth; k++ {
+			h ^= p.chainHash("agent", k)
+		}
+		return h
+	})
+	bench("reference", func(p *Pool) uint64 {
+		var h uint64
+		for k := 0; k < depth; k++ {
+			h ^= chainHash("agent", k)
+		}
+		return h
+	})
+}

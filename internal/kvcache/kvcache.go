@@ -140,6 +140,10 @@ type Pool struct {
 
 	// index maps chain hashes to published blocks (referenced or cached).
 	index map[uint64]*Block
+	// chainHashes memoizes running FNV-1a states per prefix ID so chain
+	// probes resume hashing from the deepest block already hashed instead
+	// of replaying the whole chain per probe (see Pool.chainHash).
+	chainHashes map[string][]uint64
 	// cachedList holds freed-but-cached blocks sorted by tick ascending;
 	// cachedList[0] is the next eviction victim.
 	cachedList []*Block
@@ -312,7 +316,9 @@ func (p *Pool) RemoveBlocksEvicting(n int) (evicted int, err error) {
 
 // chainHash hashes the prefix chain up to block index k: the hash of block
 // k covers the prefix identity and every span before it, so equal hashes
-// mean equal content chains.
+// mean equal content chains. This is the reference definition; the hot
+// paths go through Pool.chainHash, which memoizes the running hash states
+// and must return identical values (locked by TestChainHashMemoEquivalence).
 func chainHash(id string, k int) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(id))
@@ -325,6 +331,57 @@ func chainHash(id string, k int) uint64 {
 		h.Write(buf[:])
 	}
 	return h.Sum64() | 1 // never 0: 0 marks private blocks
+}
+
+// FNV-1a 64-bit parameters (hash/fnv's offset basis and prime). A running
+// FNV-1a state is exactly its Sum64, so hashing can resume from any cached
+// depth — that is what makes the chain-hash memo possible.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// chainHashStep folds the state's own current value into itself, byte by
+// byte little-endian — the incremental equivalent of one h.Write(Sum64)
+// round in the reference chainHash.
+func chainHashStep(s uint64) uint64 {
+	v := s
+	for j := 0; j < 64; j += 8 {
+		s = (s ^ (v >> j & 0xff)) * fnvPrime64
+	}
+	return s
+}
+
+// chainHashCacheMax bounds the per-pool memo. Prefix IDs are client keys,
+// so real traces stay far below this; the cap only guards synthetic
+// workloads with unbounded distinct prefixes from growing the map forever.
+const chainHashCacheMax = 1 << 16
+
+// chainHash returns chainHash(pfx.ID, k) via the pool's memo. The reference
+// function replays the whole chain — O(k) per call, O(n²) across a chain
+// walk — while the memo extends the deepest cached state, so a walk over n
+// blocks costs O(n) hashing total and repeat probes cost a map lookup.
+func (p *Pool) chainHash(id string, k int) uint64 {
+	states, ok := p.chainHashes[id]
+	if ok && len(states) > k+1 {
+		return states[k+1] | 1
+	}
+	if !ok {
+		s := fnvOffset64
+		for i := 0; i < len(id); i++ {
+			s = (s ^ uint64(id[i])) * fnvPrime64
+		}
+		states = make([]uint64, 1, k+2)
+		states[0] = s
+	}
+	for len(states) <= k+1 {
+		states = append(states, chainHashStep(states[len(states)-1]))
+	}
+	if p.chainHashes == nil || len(p.chainHashes) >= chainHashCacheMax {
+		p.chainHashes = make(map[string][]uint64)
+	}
+	p.chainHashes[id] = states
+	return states[k+1] | 1
 }
 
 // needError is fill's allocation-shortfall error. It formats lazily and
@@ -492,7 +549,7 @@ func (p *Pool) walkChain(pfx Prefix, fn func(k int, b *Block) bool) {
 		if want > p.blockTokens {
 			want = p.blockTokens
 		}
-		b := p.index[chainHash(pfx.ID, k)]
+		b := p.index[p.chainHash(pfx.ID, k)]
 		if b == nil || b.filled != want {
 			return
 		}
@@ -802,7 +859,7 @@ func (s *Seq) publishShared() {
 			return
 		}
 		if pure && b.hash == 0 {
-			h := chainHash(s.prefix.ID, k)
+			h := p.chainHash(s.prefix.ID, k)
 			if p.index[h] == nil {
 				b.hash = h
 				p.index[h] = b
@@ -954,7 +1011,7 @@ func (s *Seq) trimPublishBoundary() {
 	if b.hash != 0 || b.refs != 1 || b.filled < want {
 		return // already published, shared with others, or incomplete
 	}
-	h := chainHash(s.prefix.ID, k)
+	h := p.chainHash(s.prefix.ID, k)
 	if p.index[h] != nil {
 		return // another copy already cached
 	}

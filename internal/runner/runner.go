@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"kunserve/internal/cluster"
 	"kunserve/internal/obs"
@@ -53,6 +54,10 @@ type Result struct {
 	Cluster *cluster.Cluster
 	Summary Summary
 	Err     error
+	// WallSeconds is the host wall-clock span of the cell's execution
+	// (build, serve, summarize). Timing diagnostics only — it is never part
+	// of a Summary, which must stay machine-independent.
+	WallSeconds float64
 }
 
 // Run executes one cell synchronously: build the policy and cluster, serve
@@ -61,11 +66,13 @@ type Result struct {
 // sweep.
 func Run(c Cell) (res Result) {
 	res.Key = c.Key
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			res.Cluster = nil
 			res.Err = fmt.Errorf("runner: cell %q panicked: %v\n%s", c.Key, r, debug.Stack())
 		}
+		res.WallSeconds = time.Since(start).Seconds()
 	}()
 	cfg := c.Cluster
 	if c.NewPolicy != nil {

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBatchedRunMatchesSequentialOrder drives the batched kernel through a
+// same-instant cohort whose callbacks schedule more same-instant work, and
+// checks the firing order is exactly the sequential (time, sequence) order.
+func TestBatchedRunMatchesSequentialOrder(t *testing.T) {
+	run := func(parallel int) []int {
+		s := New(1)
+		s.SetParallel(parallel)
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			s.AfterPlanned(Millisecond, "e", func() {}, func() {
+				order = append(order, i)
+				if i < 4 {
+					// Same-instant follow-up: must fire after the whole
+					// cohort, in schedule order.
+					s.After(0, "follow", func() { order = append(order, 100+i) })
+				}
+			})
+		}
+		s.Run()
+		return order
+	}
+	seq := run(1)
+	for _, p := range []int{2, 4} {
+		got := run(p)
+		if len(got) != len(seq) {
+			t.Fatalf("parallel=%d fired %d events, sequential %d", p, len(got), len(seq))
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("parallel=%d order %v, sequential %v", p, got, seq)
+			}
+		}
+	}
+}
+
+// TestBatchedPlansRunBeforeCallbacks asserts every plan hook of a cohort
+// completes before any callback fires — the join that makes speculative
+// planning safe.
+func TestBatchedPlansRunBeforeCallbacks(t *testing.T) {
+	s := New(1)
+	s.SetParallel(4)
+	var planned atomic.Int32
+	const n = 6
+	for i := 0; i < n; i++ {
+		s.AfterPlanned(Millisecond, "e",
+			func() { planned.Add(1) },
+			func() {
+				if got := planned.Load(); got != n {
+					t.Errorf("callback fired with %d/%d plans done", got, n)
+				}
+			})
+	}
+	s.Run()
+}
+
+// TestCancelWithinBatch cancels a later cohort member from an earlier
+// callback: the cancelled event must not fire, not count as processed, and
+// its slot must recycle safely.
+func TestCancelWithinBatch(t *testing.T) {
+	s := New(1)
+	s.SetParallel(2)
+	var h Handle
+	fired := false
+	s.After(Millisecond, "canceller", func() { s.Cancel(h) })
+	h = s.After(Millisecond, "victim", func() { fired = true })
+	s.After(Millisecond, "tail", func() {})
+	s.Run()
+	if fired {
+		t.Fatal("cancelled same-instant event fired")
+	}
+	if s.Processed != 2 {
+		t.Fatalf("Processed = %d, want 2 (canceller + tail)", s.Processed)
+	}
+	// The recycled slot must be reusable without ghost-firing.
+	refired := false
+	s.After(Millisecond, "reuse", func() { refired = true })
+	s.Run()
+	if !refired {
+		t.Fatal("recycled slot lost its event")
+	}
+}
+
+// TestStopWithinBatch stops the run from the middle of a cohort: exactly
+// what fired, what stayed pending, and the processed count must match the
+// sequential kernel (where Stop halts between events and the rest stay
+// queued).
+func TestStopWithinBatch(t *testing.T) {
+	run := func(parallel int) (order []int, pending int, processed uint64) {
+		s := New(1)
+		s.SetParallel(parallel)
+		s.After(Millisecond, "a", func() { order = append(order, 0); s.Stop() })
+		s.After(Millisecond, "b", func() { order = append(order, 1) })
+		s.After(Millisecond, "c", func() { order = append(order, 2) })
+		s.Run()
+		return order, s.Pending(), s.Processed
+	}
+	seqOrder, seqPending, seqProcessed := run(1)
+	parOrder, parPending, parProcessed := run(2)
+	if len(seqOrder) != 1 || seqOrder[0] != 0 || seqPending != 2 {
+		t.Fatalf("sequential stop semantics changed: order %v pending %d", seqOrder, seqPending)
+	}
+	if len(parOrder) != len(seqOrder) || parOrder[0] != seqOrder[0] ||
+		parPending != seqPending || parProcessed != seqProcessed {
+		t.Fatalf("batched stop diverges: order %v pending %d processed %d (sequential %v/%d/%d)",
+			parOrder, parPending, parProcessed, seqOrder, seqPending, seqProcessed)
+	}
+}
+
+// TestFanoutPanicPropagates re-panics a worker panic on the caller with the
+// hook's stack attached.
+func TestFanoutPanicPropagates(t *testing.T) {
+	s := New(1)
+	s.SetParallel(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom") || !strings.Contains(msg, "plan hook panic") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	fns := make([]func(), 8)
+	for i := range fns {
+		fns[i] = func() {}
+	}
+	fns[5] = func() { panic("boom") }
+	s.Fanout(fns)
+}
