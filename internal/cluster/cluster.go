@@ -38,6 +38,17 @@ type Config struct {
 	Budget batching.Budget
 	// MonitorInterval is the global monitor's sampling period.
 	MonitorInterval sim.Duration
+	// MonitorDense forces the monitor onto its fixed cadence: one tick
+	// every MonitorInterval regardless of policy quiescence. By default
+	// the monitor re-arms adaptively — when the policy reports quiescence
+	// (TickQuiescent) and no tracer is attached, ticks that provably
+	// cannot observe or cause any change (no event fires before them) are
+	// skipped, their demand samples backfilled with the unchanged value,
+	// and the next real tick lands on the same MonitorInterval grid. The
+	// skip is a pure host-time optimization: simulation output is
+	// byte-identical either way. A tracer implies dense ticks (its
+	// per-tick counter events are part of the trace contract).
+	MonitorDense bool
 	// MetricsWindow is the time-series bin width.
 	MetricsWindow sim.Duration
 	// KVProvisionBytes caps each instance's KVCache region (0 = all free
@@ -177,8 +188,15 @@ type Cluster struct {
 	nextGroupID int
 
 	monitorInterval sim.Duration
-	outstanding     int
-	horizonReached  bool
+	monitorDense    bool
+	// horizon is the Serve deadline; the adaptive monitor backfills up to
+	// it when the event queue drains before the simulation does.
+	horizon        sim.Time
+	outstanding    int
+	horizonReached bool
+	// monitorSkipped counts adaptively skipped (backfilled) ticks
+	// (diagnostics and tests; never part of results).
+	monitorSkipped int
 
 	// Dispatch failures (no live group) are recorded here instead of
 	// crashing the run; the runner surfaces them per cell.
@@ -241,6 +259,7 @@ func New(cfg Config) (*Cluster, error) {
 		cacheEvict:       evict,
 		retryRoundDelay:  cfg.RetryRoundDelay,
 		monitorInterval:  cfg.MonitorInterval,
+		monitorDense:     cfg.MonitorDense,
 		Collector:        metrics.NewCollector(cfg.MetricsWindow),
 		HostParamReplica: true,
 		router:           sched.NewLeastLoaded(),
@@ -437,6 +456,10 @@ func (c *Cluster) Err() error {
 	return c.dispatchErr
 }
 
+// MonitorSkipped returns how many monitor ticks the adaptive re-arm
+// skipped and backfilled (diagnostics and tests).
+func (c *Cluster) MonitorSkipped() int { return c.monitorSkipped }
+
 // DemandBytes returns cluster-wide KV memory demand in bytes.
 func (c *Cluster) DemandBytes() int64 {
 	var tokens int64
@@ -471,12 +494,13 @@ func (c *Cluster) UsedBytes() int64 {
 }
 
 func (c *Cluster) monitorTick() {
-	c.Collector.ObserveKVDemand(c.Sim.Now(), c.DemandBytes())
+	demand := c.DemandBytes()
+	c.Collector.ObserveKVDemand(c.Sim.Now(), demand)
 	if c.tracer != nil {
 		c.tracer.Emit(obs.Event{Phase: obs.PhaseCounter, Time: c.Sim.Now(),
 			Cat: obs.CatDispatch, Name: "kv_demand_bytes",
 			Group: obs.GroupCluster, Req: obs.ReqNone,
-			Value: float64(c.DemandBytes())})
+			Value: float64(demand)})
 		c.tracer.Emit(obs.Event{Phase: obs.PhaseCounter, Time: c.Sim.Now(),
 			Cat: obs.CatDispatch, Name: "outstanding",
 			Group: obs.GroupCluster, Req: obs.ReqNone,
@@ -524,8 +548,42 @@ func (c *Cluster) monitorTick() {
 		}
 	}
 	if c.outstanding > 0 || !c.horizonReached {
-		c.Sim.After(c.monitorInterval, "monitor", c.tickFn)
+		c.armMonitor(demand)
 	}
+}
+
+// armMonitor schedules the next monitor tick. On the dense path that is
+// one fixed MonitorInterval ahead. On the adaptive path — policy
+// quiescent, no tracer — ticks that provably observe nothing are skipped:
+// between now and the next pending event no callback runs, so cluster
+// state (demand, pools, queues, group membership) is frozen, every
+// would-be tick in that window is a no-op whose only output is its demand
+// sample, and that sample is backfilled here with the frozen value. The
+// next live tick lands on the same MonitorInterval grid the fixed cadence
+// would have used, and because no event is scheduled inside the skipped
+// window, its relative order against every same-instant event is
+// unchanged — output is byte-identical, only host work is saved.
+func (c *Cluster) armMonitor(demand int64) {
+	d := c.monitorInterval
+	next := c.Sim.Now().Add(d)
+	if !c.monitorDense && c.tracer == nil {
+		if q, ok := c.Policy.(TickQuiescent); ok && q.TickQuiescent(c) {
+			// Nothing can happen before the next pending event, and
+			// nothing past the serve horizon ever fires — the dense
+			// cadence ticks at grid points ≤ horizon, so backfill stops
+			// there too (hence the 1 ns exclusive bound).
+			limit, ok := c.Sim.NextEventTime()
+			if end := c.horizon.Add(1); !ok || end.Before(limit) {
+				limit = end
+			}
+			for next.Before(limit) {
+				c.Collector.ObserveKVDemand(next, demand)
+				c.monitorSkipped++
+				next = next.Add(d)
+			}
+		}
+	}
+	c.Sim.At(next, "monitor", c.tickFn)
 }
 
 // Serve dispatches the trace and runs the simulation until horizon (or
@@ -535,6 +593,7 @@ func (c *Cluster) monitorTick() {
 // rather than panicking mid-simulation.
 func (c *Cluster) Serve(tr *workload.Trace, horizon sim.Time) *metrics.Collector {
 	c.outstanding = len(tr.Requests)
+	c.horizon = horizon
 	if c.lazyArrivals {
 		// Streaming mode: each arrival schedules its successor, so the
 		// event queue holds O(1) arrival events instead of the whole

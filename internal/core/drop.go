@@ -13,10 +13,13 @@ import (
 )
 
 // newLookaheadFormer adapts the lookahead former to the cluster interface.
-// Each policy instance (one per cell) gets its own evaluation memo: Form
-// runs on the cell's commit path, so the memo stays single-threaded.
+// Evaluation goes through the shared per-model lookup table: it returns
+// the exact bits a direct evaluation would, costs less than a memo-map
+// probe, and — being immutable — is safe for the speculative plan fan-out
+// of parallel rounds, where one policy's Former runs on several planning
+// goroutines at once (the per-Former EvalCache was not).
 func newLookaheadFormer(m *costmodel.Model, minTokens int) cluster.Former {
-	return &lookahead.Former{Model: m, MinTokens: minTokens, Cache: costmodel.NewEvalCache(m)}
+	return &lookahead.Former{Model: m, MinTokens: minTokens, Table: costmodel.ForModel(m)}
 }
 
 // maybeDrop checks the overload condition and, when triggered, derives and

@@ -30,12 +30,21 @@ type Former struct {
 	// re-evaluates every item at each level and cutTokens binary-searches
 	// the same prefix over and over; a hit returns the exact bits a fresh
 	// evaluation would, so splitting decisions — and results — are
-	// unchanged. Single-consumer: share a Former, not a Cache.
+	// unchanged. Single-consumer: share a Former, not a Cache. Ignored
+	// when Table is set.
 	Cache *costmodel.EvalCache
+	// Table, when set, evaluates Eq. 1 through the shared per-model
+	// lookup table (costmodel.ForModel). Unlike Cache it is immutable and
+	// safe for the concurrent speculative planning of parallel rounds;
+	// exact tables return bit-identical values, so results are unchanged.
+	Table *costmodel.Table
 }
 
-// chunkSeconds evaluates Eq. 1 through the memo when one is attached.
+// chunkSeconds evaluates Eq. 1 through the table or memo when attached.
 func (f *Former) chunkSeconds(prefix, chunk int) float64 {
+	if f.Table != nil {
+		return f.Table.ChunkSeconds(prefix, chunk)
+	}
 	if f.Cache != nil {
 		return f.Cache.ChunkSeconds(prefix, chunk)
 	}
@@ -49,6 +58,9 @@ func (f *Former) itemCost(it batching.Item) float64 {
 
 // batchCost evaluates a microbatch under the model (Eq. 2–3).
 func (f *Former) batchCost(items []batching.Item) float64 {
+	if f.Table != nil {
+		return f.Table.BatchSeconds(batching.ToChunkWork(items))
+	}
 	return f.Model.BatchSeconds(batching.ToChunkWork(items))
 }
 

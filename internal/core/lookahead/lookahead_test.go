@@ -1,6 +1,8 @@
 package lookahead
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -264,5 +266,44 @@ func TestCachedFormerIdentical(t *testing.T) {
 	hits, misses := cached.Cache.Stats()
 	if hits == 0 || misses == 0 {
 		t.Fatalf("memo hits/misses = %d/%d; expected both nonzero", hits, misses)
+	}
+}
+
+// TestSharedFormerConcurrentForm is the audit test for plan-time fan-out:
+// one Former — the policy-owned instance every group of a cluster shares —
+// forming microbatches from many goroutines at once, the way intra-cell
+// parallel round planning drives it. With the immutable cost-model Table
+// this is race-free and every goroutine gets bit-identical splits; with the
+// old per-Former EvalCache it was a data race on the memo map (run with
+// -race to enforce). The sequential result is the oracle.
+func TestSharedFormerConcurrentForm(t *testing.T) {
+	f, _ := fittedFormer(t)
+	f.Table = costmodel.ForModel(f.Model)
+
+	var items []batching.Item
+	for i := 0; i < 24; i++ {
+		items = append(items, decodeItem(i, 256+64*i))
+	}
+	items = append(items, prefillItem(100, 3000), prefillItem(101, 1200))
+
+	want := f.Form(items, 2)
+
+	const workers = 8
+	got := make([][][]batching.Item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				got[w] = f.Form(items, 2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if !reflect.DeepEqual(got[w], want) {
+			t.Fatalf("worker %d split differs from sequential", w)
+		}
 	}
 }

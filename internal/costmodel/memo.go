@@ -7,8 +7,17 @@ package costmodel
 // repeated float work without any chance of perturbing results — a hit
 // returns the exact bits a fresh evaluation would.
 //
-// The cache is single-consumer (one per lookahead Former, which runs on its
-// cluster's commit path): it is not safe for concurrent use.
+// The cache is single-consumer: it is NOT safe for concurrent use — hits
+// and misses mutate the map and counters without synchronization. That
+// ruled it out of the lookahead Former once intra-cell parallelism arrived:
+// a cluster running IntraCellParallel > 1 plans same-instant group rounds
+// on worker goroutines, and a shared Former probing one EvalCache from
+// several workers is a data race (caught by the -race planning test in
+// lut_test.go). The hot path now uses the immutable, shareable Table
+// (lut.go) instead, which returns the same exact bits with a bounds-checked
+// slice load in place of a map probe. EvalCache remains for genuinely
+// single-goroutine consumers — owner-confined measurement loops, tests —
+// and anything that needs memoization over an unbounded signature range.
 type EvalCache struct {
 	m     *Model
 	table map[evalKey]float64

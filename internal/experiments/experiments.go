@@ -272,16 +272,34 @@ func ClusterB() Config {
 	}
 }
 
-// BuildTrace generates the experiment's trace: the compiled workload spec
+// BuildTrace returns the experiment's trace: the compiled workload spec
 // when one is configured, otherwise BurstGPT arrivals scaled to the config
-// with the configured dataset's lengths.
+// with the configured dataset's lengths. Traces come out of the shared
+// arena (runner.SharedTrace): every figure and sweep cell generating the
+// same (seed, duration, rate, dataset) workload — all of `-exp all`'s
+// figures, every value of an instance sweep — reads one immutable Trace
+// instead of regenerating its own copy. Generation is deterministic, so
+// sharing is byte-invisible; callers must not mutate the result (clone or
+// use a copying transform like workload.RepeatBurst to derive variants).
 func (c Config) BuildTrace() (*workload.Trace, error) {
 	cfg := c.withDefaults()
 	if cfg.WorkloadSpec != nil {
-		return cfg.WorkloadSpec.Compile()
+		// A parsed spec's pointer identity subsumes its contents: its own
+		// seed/duration/rates govern compilation, so one spec always
+		// compiles to the same trace.
+		return runner.SharedTrace(runner.TraceKey{Spec: cfg.WorkloadSpec},
+			cfg.WorkloadSpec.Compile)
 	}
-	return workload.Generate(cfg.Seed, cfg.Duration,
-		workload.ScaledBurstSchedule(cfg.BaseRPS, cfg.Duration), cfg.Dataset), nil
+	key := runner.TraceKey{
+		Seed:     cfg.Seed,
+		Duration: cfg.Duration,
+		RPS:      cfg.BaseRPS,
+		Dataset:  cfg.Dataset,
+	}
+	return runner.SharedTrace(key, func() (*workload.Trace, error) {
+		return workload.Generate(cfg.Seed, cfg.Duration,
+			workload.ScaledBurstSchedule(cfg.BaseRPS, cfg.Duration), cfg.Dataset), nil
+	})
 }
 
 // clusterConfig assembles the cluster configuration for one run on tr. The

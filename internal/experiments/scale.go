@@ -75,7 +75,13 @@ type ScaleTiming struct {
 	NumCPU     int
 	// TotalWallSeconds spans the whole sweep, trace generation included.
 	TotalWallSeconds float64
-	Rungs            []ScaleRungTiming
+	// HeapInuseMB and SysMB snapshot the Go runtime's memory at sweep end
+	// (runtime.ReadMemStats): live heap, and total memory obtained from
+	// the OS. Sys grows monotonically, so it approximates the process
+	// high-water mark — the figure the BENCH_scale RSS note reports.
+	HeapInuseMB float64
+	SysMB       float64
+	Rungs       []ScaleRungTiming
 }
 
 // ScaleResult is the cluster-scale streaming sweep: a ladder of fleet sizes
@@ -200,6 +206,10 @@ func ExperimentScale(cfg Config) (*ScaleResult, error) {
 		timing.Rungs = append(timing.Rungs, rt)
 	}
 	timing.TotalWallSeconds = time.Since(start).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	timing.HeapInuseMB = float64(ms.HeapInuse) / (1 << 20)
+	timing.SysMB = float64(ms.Sys) / (1 << 20)
 	res.Timing = timing
 	return res, nil
 }
@@ -210,8 +220,9 @@ func PrintExperimentScale(w io.Writer, r *ScaleResult) {
 	fmt.Fprintf(w, "trace length %v, bounded metrics (reservoir %d), lazy arrivals\n",
 		r.Duration, runner.DefaultReservoir)
 	if t := r.Timing; t != nil {
-		fmt.Fprintf(w, "workers %d (intra-cell %d) on GOMAXPROCS %d / %d CPUs | total wall %.1fs\n",
-			t.Workers, t.IntraCellParallel, t.GOMAXPROCS, t.NumCPU, t.TotalWallSeconds)
+		fmt.Fprintf(w, "workers %d (intra-cell %d) on GOMAXPROCS %d / %d CPUs | total wall %.1fs | heap %.0f MB / sys %.0f MB\n",
+			t.Workers, t.IntraCellParallel, t.GOMAXPROCS, t.NumCPU, t.TotalWallSeconds,
+			t.HeapInuseMB, t.SysMB)
 	}
 	for _, rung := range r.Rungs {
 		fmt.Fprintf(w, "%4d instances | %d requests, %.1f req/s avg | slowest cell %.1fs\n",

@@ -66,11 +66,46 @@ var validNext = map[State][]State{
 }
 
 // Request tracks one inference request through the serving system.
+// Field order is deliberate: the engine walks thousands of requests per
+// scheduling round (collect, form, reserve, finish), and each pass reads
+// only the scheduling-hot subset. Packing that subset — state, token
+// counters, group/seq/lock — into the struct's first 64 bytes keeps each
+// per-request touch to a single cache line; the identity, timestamp, and
+// trace-tagging fields that only admission and metrics read follow.
 type Request struct {
-	ID        int
-	Arrival   sim.Time
-	InputLen  int
+	state State
+
+	// Generated counts output tokens emitted, including the first.
+	Generated int
+
 	OutputLen int
+
+	// PrefilledTokens counts prompt tokens whose KV has been computed in
+	// the current incarnation (chunked prefill advances it stepwise;
+	// preemption resets it).
+	PrefilledTokens int
+
+	// prefillTarget is the prompt length of the current incarnation:
+	// InputLen initially, InputLen + consumed output tokens after a
+	// recompute-preemption.
+	prefillTarget int
+
+	// GroupID is the serving group currently responsible for the request.
+	GroupID int
+
+	// Seq is the GPU KVCache allocation; nil while queued/preempted.
+	Seq *kvcache.Seq
+
+	// RoundLock is the engine-owned reservation stamp: the scheduling
+	// round in which this request's KV was last reserved. The engine
+	// compares it against its current round stamp to rule the request out
+	// as a preemption victim mid-round; stamps are namespaced per group,
+	// so a migrated request's stale stamp can never match.
+	RoundLock uint64
+
+	ID       int
+	Arrival  sim.Time
+	InputLen int
 
 	// Client names the originating workload client and Class its SLO
 	// class (spec-tagged traces; empty otherwise). Routers and queue
@@ -85,40 +120,12 @@ type Request struct {
 	// PrefilledTokens; the collector tracks the run-wide hit accounting.
 	Prefix kvcache.Prefix
 
-	state State
-
-	// PrefilledTokens counts prompt tokens whose KV has been computed in
-	// the current incarnation (chunked prefill advances it stepwise;
-	// preemption resets it).
-	PrefilledTokens int
-
-	// prefillTarget is the prompt length of the current incarnation:
-	// InputLen initially, InputLen + consumed output tokens after a
-	// recompute-preemption.
-	prefillTarget int
-
-	// Generated counts output tokens emitted, including the first.
-	Generated int
-
 	// FirstTokenAt is when the first output token was emitted (TTFT
 	// endpoint); zero until then.
 	FirstTokenAt sim.Time
 
 	// FinishedAt is when the last token was emitted.
 	FinishedAt sim.Time
-
-	// Seq is the GPU KVCache allocation; nil while queued/preempted.
-	Seq *kvcache.Seq
-
-	// GroupID is the serving group currently responsible for the request.
-	GroupID int
-
-	// RoundLock is the engine-owned reservation stamp: the scheduling
-	// round in which this request's KV was last reserved. The engine
-	// compares it against its current round stamp to rule the request out
-	// as a preemption victim mid-round; stamps are namespaced per group,
-	// so a migrated request's stale stamp can never match.
-	RoundLock uint64
 
 	// Preemptions counts recompute-preemptions (vLLM baseline) for
 	// diagnostics.

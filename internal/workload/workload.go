@@ -48,6 +48,59 @@ type Trace struct {
 	Requests []Request
 }
 
+// Clone returns a deep copy of the trace. It is the copy-on-write escape
+// hatch for shared traces (runner.SharedTrace): callers that must mutate a
+// trace obtained from the arena clone it first so every other holder keeps
+// reading the pristine original. The copying transforms (Upscale,
+// RepeatBurst, Merge) build fresh traces already and need no clone.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{Name: t.Name}
+	if len(t.Requests) > 0 {
+		out.Requests = make([]Request, len(t.Requests))
+		copy(out.Requests, t.Requests)
+	}
+	return out
+}
+
+// Fingerprint returns a stable FNV-1a hash over the trace's full content —
+// name and every field of every request. Equal traces hash equal on every
+// platform; the shared-trace arena uses it to detect (and tests to prove
+// the absence of) writes through a shared trace.
+func (t *Trace) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	str := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		mix(uint64(len(s)))
+	}
+	str(t.Name)
+	mix(uint64(len(t.Requests)))
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		mix(uint64(r.ID))
+		mix(uint64(r.Arrival))
+		mix(uint64(r.InputLen))
+		mix(uint64(r.OutputLen))
+		str(r.Client)
+		str(r.Class)
+		mix(uint64(r.SharedPrefix))
+	}
+	return h
+}
+
 // LengthDist is a clamped log-normal token-length distribution,
 // parameterized by its mean (tokens) and the log-space sigma controlling
 // tail heaviness.
