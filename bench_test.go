@@ -26,6 +26,7 @@ import (
 	"kunserve/internal/network"
 	"kunserve/internal/obs"
 	"kunserve/internal/request"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 	"kunserve/internal/workload"
 )
@@ -558,6 +559,63 @@ func BenchmarkCoordinatedExchange(b *testing.B) {
 			b.Fatal("incomplete")
 		}
 	}
+}
+
+// BenchmarkDispatch512 prices pure routing on a 512-group fleet: each
+// iteration stands up a fresh DP cluster and pushes a batch of requests
+// through Cluster.Dispatch with no simulation time advancing, so the cost
+// measured is candidate-set maintenance plus the router's pick. Keyed
+// routers (least-loaded, least-kv, queue-depth) ride the incremental
+// index — O(log n) per dispatch; the scan variant forces the same router
+// through the full O(n) candidate scan (the oracle the index must match
+// byte for byte); p2c and round-robin always scan.
+func BenchmarkDispatch512(b *testing.B) {
+	const fleet = 512
+	const batch = 4096
+	bench := func(router string, scan bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			dispatched := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl, err := cluster.New(cluster.Config{
+					Seed:      1,
+					Model:     model.Qwen25_14B(),
+					GPU:       gpu.A800(),
+					Instances: fleet,
+					Policy:    baselines.VLLMDP{},
+					NewRouter: func(seed int64) sched.Router {
+						r, err := sched.NewRouterByName(router, seed)
+						if err != nil {
+							b.Fatal(err)
+						}
+						return r
+					},
+					ScanDispatch: scan,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs := make([]*request.Request, batch)
+				for j := range reqs {
+					reqs[j] = request.New(j, 0, 256, 32)
+				}
+				b.StartTimer()
+				for _, r := range reqs {
+					if err := cl.Dispatch(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				dispatched += batch
+			}
+			b.ReportMetric(float64(dispatched)/b.Elapsed().Seconds(), "dispatch/s")
+		}
+	}
+	b.Run("least-loaded", bench("least-loaded", false))
+	b.Run("least-loaded-scan", bench("least-loaded", true))
+	b.Run("least-kv", bench("least-kv", false))
+	b.Run("queue-depth", bench("queue-depth", false))
+	b.Run("p2c", bench("p2c", false))
+	b.Run("round-robin", bench("round-robin", false))
 }
 
 func BenchmarkSimKernel(b *testing.B) {

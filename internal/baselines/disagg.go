@@ -10,6 +10,7 @@ import (
 	"kunserve/internal/network"
 	"kunserve/internal/obs"
 	"kunserve/internal/request"
+	"kunserve/internal/sched"
 	"kunserve/internal/sim"
 )
 
@@ -181,15 +182,26 @@ func (p *Disagg) HandoffPrefill(g *cluster.Group, r *request.Request) bool {
 // wait queue (ties keep the earliest) — the same signal the queue-depth
 // router uses for new arrivals.
 func leastQueuedPrefill(c *cluster.Cluster) *cluster.Group {
+	// Index fast path: under the queue-depth router the dispatcher's
+	// incremental index already orders the arrival-admitting groups by
+	// (queue depth, group ID) — the scan's exact tie-break. A prefill-role
+	// minimum beats every other prefill group by transitivity, so the
+	// answer needs no fleet walk; any other minimum (a collocated group
+	// admits arrivals too) falls back to the filtered scan.
+	if g, keyed := c.IndexedMin(); g != nil {
+		if _, ok := keyed.(*sched.QueueDepth); ok && g.Role() == engine.RolePrefill {
+			return g
+		}
+	}
 	var best *cluster.Group
-	for _, g := range c.Groups() {
+	c.EachGroup(func(g *cluster.Group) {
 		if g.Role() != engine.RolePrefill {
-			continue
+			return
 		}
 		if best == nil || g.QueueLen() < best.QueueLen() {
 			best = g
 		}
-	}
+	})
 	if best == nil {
 		panic("disagg: no prefill groups")
 	}
@@ -197,22 +209,25 @@ func leastQueuedPrefill(c *cluster.Cluster) *cluster.Group {
 }
 
 // decodeDestination picks the least-loaded decode group that fits tokens
-// of KV right now (net of its prefix cache), or nil.
+// of KV right now (net of its prefix cache), or nil. Decode groups never
+// appear in the dispatch index (they admit no arrivals), and the fit
+// predicate needs ordered traversal a min-heap cannot give, so this stays
+// a scan — but over EachGroup, not a per-call Groups copy.
 func (p *Disagg) decodeDestination(c *cluster.Cluster, pfx kvcache.Prefix, tokens int) *cluster.Group {
 	var best *cluster.Group
 	var bestLoad float64
-	for _, g := range c.Groups() {
+	c.EachGroup(func(g *cluster.Group) {
 		if g.Role() != engine.RoleDecode {
-			continue
+			return
 		}
 		if !g.Pool().CanFitWithPrefix(pfx, tokens) {
-			continue
+			return
 		}
 		l := load(g)
 		if best == nil || l < bestLoad {
 			best, bestLoad = g, l
 		}
-	}
+	})
 	return best
 }
 

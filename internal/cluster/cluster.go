@@ -108,6 +108,14 @@ type Config struct {
 	// with cell-level parallelism (runner.Set): total goroutines scale as
 	// cells × workers, so size the product to GOMAXPROCS.
 	IntraCellParallel int
+	// ScanDispatch forces Dispatch onto the full candidate scan even when
+	// the router is indexable, rebuilding the slate per request the way
+	// the pre-index dispatcher did. The scan is the semantic oracle: CI
+	// diffs indexed runs against it, and equivalence tests use it to pin
+	// the index to the scan's first-wins tie-break. Off (the default)
+	// lets keyed routers (least-loaded, least-kv, queue-depth) dispatch
+	// from the incremental index in O(log n).
+	ScanDispatch bool
 	// RetryRoundDelay is how long a group sleeps before retrying a
 	// scheduling round in which memory pressure blocked every batch item
 	// and the policy freed nothing synchronously (default 10 ms).
@@ -203,11 +211,31 @@ type Cluster struct {
 	dispatchErr     error
 	dispatchDropped int
 
-	// Dispatch scratch space, reused per call (a cluster is
-	// single-threaded inside its simulation): the replaced inlined loop
-	// was allocation-free and the dispatcher is on every arrival's path.
+	// Dispatch candidate state. activeGroups is the persistent active
+	// candidate set (open groups whose role admits arrivals, ascending
+	// group ID — registration order); it is rebuilt only when membership
+	// or a role changes (activeStale), never per request. byID resolves
+	// an index pick back to its group (a dense slice — group IDs are
+	// small monotonic ints). index is the keyed router's incremental
+	// (key, ID) ordering, nil on the scan path; dirtyGroups queues groups
+	// whose key inputs changed since the last sync (edge-triggered engine
+	// load notifications, pool resizes). routeCands is the scan
+	// fallback's value slate, reused per call (a cluster is
+	// single-threaded inside its simulation; the scan path stays
+	// allocation-free).
+	activeGroups []*Group
+	byID         []*Group
+	activeStale  bool
+	index        *sched.Index
+	dirtyGroups  []*Group
+	scanDispatch bool
 	routeCands   []sched.Candidate
-	routeTargets []*Group
+
+	// totalDemandTokens mirrors the sum of every open group's
+	// DemandTokens, synced from the dirty list at each read so the
+	// monitor's DemandBytes is O(d) in dirty groups instead of a fleet
+	// walk.
+	totalDemandTokens int64
 
 	// planScratch is monitorTick's reusable plan-hook fan-out buffer
 	// (intra-cell parallel mode only).
@@ -289,6 +317,13 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: NewDiscipline returned nil")
 		}
 	}
+	c.scanDispatch = cfg.ScanDispatch
+	c.activeStale = true
+	if !c.scanDispatch {
+		if k, ok := c.router.(sched.Keyed); ok {
+			c.index = sched.NewIndex(k)
+		}
+	}
 	c.Fabric = network.NewFabric(c.Sim, cfg.Instances, cfg.NetBandwidth, network.DefaultLatency)
 	for i := 0; i < cfg.Instances; i++ {
 		in, err := instance.NewProvisioned(i, cfg.GPU, cfg.Model, cfg.KVProvisionBytes)
@@ -322,7 +357,122 @@ func (c *Cluster) NewGroup(instanceIDs []int) (*Group, error) {
 	}
 	c.nextGroupID++
 	c.groups = append(c.groups, g)
+	for g.ID >= len(c.byID) {
+		c.byID = append(c.byID, nil)
+	}
+	c.byID[g.ID] = g
+	c.invalidateActive()
 	return g, nil
+}
+
+// invalidateActive marks the dispatcher's cached candidate set stale; the
+// next dispatch (or index read) rebuilds it. Fired on group creation and
+// removal, role changes, and closes.
+func (c *Cluster) invalidateActive() { c.activeStale = true }
+
+// noteLoadChanged queues a group whose demand accounting changed (the
+// engine's edge-triggered LoadChanged); the exact value is read back at
+// the next sync point. Queued on the scan path too: the fleet demand
+// total is synced from the same dirty list.
+func (c *Cluster) noteLoadChanged(g *Group) { c.markDirty(g) }
+
+// markDirty queues a group whose routing key inputs (demand, queue depth,
+// capacity) changed since the last sync. O(1) per change: the flush at
+// the next dispatch (or DemandBytes read) coalesces however many deltas a
+// round produced into one demand fold and one index update per group.
+func (c *Cluster) markDirty(g *Group) {
+	if g.idxDirty {
+		return
+	}
+	g.idxDirty = true
+	c.dirtyGroups = append(c.dirtyGroups, g)
+}
+
+// syncDemand drains the dirty list: per group, re-arm the engine's load
+// notification, fold the group's exact DemandTokens into the fleet total
+// (replacing its previous contribution), and — when the index is live and
+// the candidate set is current — apply the key change to the index.
+// O(d log n) for d dirty groups. While the candidate set is stale the
+// index updates are skipped; rebuildActive reloads the index wholesale.
+func (c *Cluster) syncDemand() {
+	if len(c.dirtyGroups) == 0 {
+		return
+	}
+	indexLive := c.index != nil && !c.activeStale
+	for i, g := range c.dirtyGroups {
+		g.idxDirty = false
+		c.dirtyGroups[i] = nil
+		g.exec.AckLoadNotify()
+		d := g.exec.DemandTokens()
+		c.totalDemandTokens += int64(d - g.lastDemandTokens)
+		g.lastDemandTokens = d
+		if indexLive && g.inActive {
+			c.index.Update(g.candidate())
+		}
+	}
+	c.dirtyGroups = c.dirtyGroups[:0]
+}
+
+// rebuildActive refreshes the persistent active candidate set (and, on the
+// index path, reloads the index) after a membership or role change. The
+// freed tail of the reused backing array is cleared so closed groups'
+// pointers do not outlive their removal.
+func (c *Cluster) rebuildActive() {
+	// Fold pending demand first (activeStale suppresses index updates;
+	// the reload below subsumes them).
+	c.syncDemand()
+	old := c.activeGroups
+	act := old[:0]
+	for _, g := range c.groups {
+		g.inActive = !g.Closed() && g.Role().AdmitsNewArrivals()
+		if g.inActive {
+			act = append(act, g)
+		}
+	}
+	// A shrink stays in the shared backing array (append never reallocates
+	// below the old length), so clearing the tail releases the dropped
+	// *Group pointers.
+	if len(act) < len(old) {
+		clear(old[len(act):])
+	}
+	c.activeGroups = act
+	c.activeStale = false
+	if c.index == nil {
+		return
+	}
+	c.index.Reset()
+	for _, g := range act {
+		c.index.Update(g.candidate())
+	}
+}
+
+// syncIndex brings the index up to date with every change since the last
+// dispatch: a membership rebuild if one is pending, then the dirty-key
+// flush.
+func (c *Cluster) syncIndex() {
+	if c.activeStale {
+		c.rebuildActive()
+		return
+	}
+	c.syncDemand()
+}
+
+// IndexedMin returns the dispatcher's current index minimum — the active
+// group minimizing (router key, group ID) — and the keyed router
+// maintaining it. (nil, nil) when dispatch runs on the scan path (non-
+// indexable router or Config.ScanDispatch) or no group is active. The
+// index is synced first, so the result is exactly what the next Dispatch
+// would pick.
+func (c *Cluster) IndexedMin() (*Group, sched.Keyed) {
+	if c.index == nil {
+		return nil, nil
+	}
+	c.syncIndex()
+	id, ok := c.index.Min()
+	if !ok {
+		return nil, nil
+	}
+	return c.byID[id], c.index.Keyed()
 }
 
 // Groups returns the live groups.
@@ -364,6 +514,11 @@ func (c *Cluster) RemoveGroup(g *Group) {
 		if x == g {
 			c.groups = append(c.groups[:i], c.groups[i+1:]...)
 			c.retiredPools = append(c.retiredPools, g.pool)
+			g.inActive = false
+			if g.ID < len(c.byID) {
+				c.byID[g.ID] = nil
+			}
+			c.invalidateActive()
 			return
 		}
 	}
@@ -388,6 +543,16 @@ func (c *Cluster) Tracer() obs.Tracer { return c.tracer }
 // tracing is off; its methods are nil-receiver-safe).
 func (c *Cluster) ReqTrack() *obs.ReqTracker { return c.reqTrack }
 
+// candidate snapshots the group as the router sees it.
+func (g *Group) candidate() sched.Candidate {
+	return sched.Candidate{
+		ID:             g.ID,
+		DemandTokens:   g.DemandTokens(),
+		CapacityTokens: g.CapacityTokens(),
+		QueueLen:       g.QueueLen(),
+	}
+}
+
 // Dispatch routes a request to a live group through the cluster's router
 // (least-loaded by default: the Llumnix-style load-balancing dispatcher
 // every system shares, §3). Only groups whose role admits new arrivals
@@ -395,40 +560,51 @@ func (c *Cluster) ReqTrack() *obs.ReqTracker { return c.reqTrack }
 // work via KV handoff, never from the dispatcher. It returns an error
 // instead of crashing when no live candidate exists; Serve aggregates
 // such errors into Err.
+//
+// Keyed routers dispatch from the incremental index: the active candidate
+// set persists across requests (invalidated only on membership or role
+// change), engine load deltas queue point updates, and the pick is the
+// index minimum — byte-identical to the full scan by the (key, group ID)
+// tie-break contract, at O(d log n) per request instead of O(n). Other
+// routers (p2c, round-robin, affinity) refresh the scan slate over the
+// same persistent active set.
 func (c *Cluster) Dispatch(r *request.Request) error {
-	cands := c.routeCands[:0]
-	targets := c.routeTargets[:0]
-	for _, g := range c.groups {
-		if g.Closed() || !g.Role().AdmitsNewArrivals() {
-			continue
+	if c.activeStale {
+		c.rebuildActive()
+	}
+	var target *Group
+	ncands := len(c.activeGroups)
+	if c.index != nil {
+		c.syncDemand()
+		if id, ok := c.index.Min(); ok {
+			target = c.byID[id]
 		}
-		cands = append(cands, sched.Candidate{
-			ID:             g.ID,
-			DemandTokens:   g.DemandTokens(),
-			CapacityTokens: g.CapacityTokens(),
-			QueueLen:       g.QueueLen(),
-		})
-		targets = append(targets, g)
+	} else if ncands > 0 {
+		cands := c.routeCands[:0]
+		for _, g := range c.activeGroups {
+			cands = append(cands, g.candidate())
+		}
+		c.routeCands = cands
+		idx := c.router.Route(r, cands)
+		if idx < 0 || idx >= len(cands) {
+			return fmt.Errorf("cluster: router %s chose candidate %d of %d",
+				c.router.Name(), idx, len(cands))
+		}
+		target = c.activeGroups[idx]
 	}
-	c.routeCands, c.routeTargets = cands, targets
-	if len(cands) == 0 {
+	if target == nil {
 		return fmt.Errorf("cluster: no live groups to dispatch request %d to", r.ID)
-	}
-	idx := c.router.Route(r, cands)
-	if idx < 0 || idx >= len(targets) {
-		return fmt.Errorf("cluster: router %s chose candidate %d of %d",
-			c.router.Name(), idx, len(cands))
 	}
 	if c.tracer != nil {
 		c.tracer.Emit(obs.Event{Phase: obs.PhaseInstant, Time: c.Sim.Now(),
 			Cat: obs.CatDispatch, Name: c.router.Name(),
 			Group: obs.GroupCluster, Track: "dispatch", Req: r.ID,
 			Args: [2]obs.Arg{
-				{Key: "group", Val: int64(targets[idx].ID)},
-				{Key: "candidates", Val: int64(len(cands))},
+				{Key: "group", Val: int64(target.ID)},
+				{Key: "candidates", Val: int64(ncands)},
 			}})
 	}
-	targets[idx].Enqueue(r)
+	target.Enqueue(r)
 	return nil
 }
 
@@ -460,15 +636,27 @@ func (c *Cluster) Err() error {
 // skipped and backfilled (diagnostics and tests).
 func (c *Cluster) MonitorSkipped() int { return c.monitorSkipped }
 
-// DemandBytes returns cluster-wide KV memory demand in bytes.
+// DemandBytes returns cluster-wide KV memory demand in bytes. O(d) in
+// groups whose demand changed since the last sync: the total is folded
+// from the engines' edge-triggered load notifications (a closing group's
+// engine zeroes its contribution), so the monitor's per-tick read no
+// longer walks the fleet. TestClusterDemandTotalInvariant pins it to the
+// ground-truth walk.
 func (c *Cluster) DemandBytes() int64 {
+	c.syncDemand()
+	return c.totalDemandTokens * c.Model.KVBytesPerToken()
+}
+
+// demandTokensWalk recomputes the demand total by walking the open groups
+// (the invariant tests' oracle for the incremental DemandBytes).
+func (c *Cluster) demandTokensWalk() int64 {
 	var tokens int64
 	for _, g := range c.groups {
 		if !g.Closed() {
 			tokens += int64(g.DemandTokens())
 		}
 	}
-	return tokens * c.Model.KVBytesPerToken()
+	return tokens
 }
 
 // CapacityBytes returns cluster-wide KV capacity in bytes.

@@ -95,6 +95,19 @@ type Callbacks struct {
 	// returns true when the policy accepted the request (stalling it for
 	// the KV transfer). Required for RolePrefill, ignored otherwise.
 	Handoff func(r *request.Request) bool
+	// LoadChanged, when set, fires on the FIRST change to the engine's
+	// demand accounting (queue pushes and pops, running-set membership,
+	// decode growth) since the cluster last acknowledged with
+	// AckLoadNotify. The edge-triggered contract keeps the hot mutation
+	// path to one local branch per delta: the cluster marks the group
+	// dirty once, reads the exact DemandTokens at its next sync point,
+	// and re-arms the notification — so neither the fleet demand total
+	// nor the dispatch index is recomputed by scanning the fleet.
+	LoadChanged func()
+	// MembershipChanged, when set, fires when the engine's dispatcher
+	// visibility changes — a role switch or a close — invalidating any
+	// cached candidate set the cluster keeps.
+	MembershipChanged func()
 }
 
 // Options assemble an engine for one group.
@@ -237,6 +250,10 @@ type Engine struct {
 	// per arrival and was the dominant cost of cluster-scale sweeps.
 	// TestDemandAccountingInvariant pins it to the ground-truth walk.
 	demandTokens int
+	// loadNotified is the edge-trigger latch for Callbacks.LoadChanged:
+	// set by the first demand delta after an AckLoadNotify, cleared by the
+	// cluster once it has folded the exact DemandTokens at a sync point.
+	loadNotified bool
 }
 
 // New assembles an engine in the collocated role.
@@ -278,6 +295,9 @@ func (e *Engine) SetRole(role Role) error {
 	e.mutated()
 	e.role = role
 	e.stages = stagesFor(role)
+	if e.cb.MembershipChanged != nil {
+		e.cb.MembershipChanged()
+	}
 	return nil
 }
 
@@ -386,11 +406,31 @@ func (e *Engine) RoundsRun() int { return e.roundsRun }
 // a missing one would cost correctness.
 func (e *Engine) mutated() { e.version++ }
 
+// demandAdd is the single mutation point for demandTokens; the first delta
+// since the last AckLoadNotify raises the edge-triggered LoadChanged so the
+// cluster's incremental totals and the dispatch index stay in lockstep with
+// the accounting. Queue-depth changes always ride along: every queue
+// push/pop moves demand by the request's prompt, so one notification covers
+// both signals. In the steady state (a round's burst of deltas between two
+// cluster syncs) this is one predictable branch per delta, not a callback.
+func (e *Engine) demandAdd(delta int) {
+	e.demandTokens += delta
+	if !e.loadNotified && e.cb.LoadChanged != nil {
+		e.loadNotified = true
+		e.cb.LoadChanged()
+	}
+}
+
+// AckLoadNotify re-arms LoadChanged after the cluster has read the exact
+// DemandTokens at a sync point. Pairs with the edge-triggered contract on
+// Callbacks.LoadChanged.
+func (e *Engine) AckLoadNotify() { e.loadNotified = false }
+
 // Enqueue adds a request to the wait queue under the group's discipline.
 func (e *Engine) Enqueue(r *request.Request) {
 	e.mutated()
 	r.GroupID = e.groupID
-	e.demandTokens += r.PrefillTarget()
+	e.demandAdd(r.PrefillTarget())
 	e.stampQueued(r)
 	e.queue.Push(r)
 	e.traceQueued(r, "enqueue")
@@ -402,7 +442,7 @@ func (e *Engine) Enqueue(r *request.Request) {
 func (e *Engine) EnqueueFront(r *request.Request) {
 	e.mutated()
 	r.GroupID = e.groupID
-	e.demandTokens += r.PrefillTarget()
+	e.demandAdd(r.PrefillTarget())
 	e.stampQueued(r)
 	e.queue.PushFront(r)
 	e.traceQueued(r, "requeue")
@@ -555,7 +595,7 @@ func byArrivalID(a, b *request.Request) int {
 
 func (e *Engine) addRunning(r *request.Request) {
 	e.mutated()
-	e.demandTokens += committedTokens(r)
+	e.demandAdd(committedTokens(r))
 	e.running = append(e.running, r)
 	i, _ := slices.BinarySearchFunc(e.sortedRunning, r, byArrivalID)
 	e.sortedRunning = slices.Insert(e.sortedRunning, i, r)
@@ -563,7 +603,7 @@ func (e *Engine) addRunning(r *request.Request) {
 
 func (e *Engine) removeRunning(r *request.Request) {
 	e.mutated()
-	e.demandTokens -= committedTokens(r)
+	e.demandAdd(-committedTokens(r))
 	if i, ok := slices.BinarySearchFunc(e.sortedRunning, r, byArrivalID); ok {
 		e.sortedRunning = slices.Delete(e.sortedRunning, i, i+1)
 	}
@@ -600,7 +640,7 @@ func committedTokens(r *request.Request) int {
 // queue-entry stamps).
 func (e *Engine) AccountQueuedDemand(r *request.Request) {
 	e.mutated()
-	e.demandTokens += r.PrefillTarget()
+	e.demandAdd(r.PrefillTarget())
 }
 
 // maxRunning bounds the admitted set: vLLM's max_num_seqs per engine,
@@ -636,7 +676,7 @@ func (e *Engine) runAdmit(*round) bool {
 			// Finished elsewhere (shouldn't happen) — drop defensively.
 			e.mutated()
 			e.queue.Pop()
-			e.demandTokens -= r.PrefillTarget()
+			e.demandAdd(-r.PrefillTarget())
 			delete(e.queuedAt, r.ID)
 			continue
 		}
@@ -652,7 +692,7 @@ func (e *Engine) runAdmit(*round) bool {
 			return true
 		}
 		e.queue.Pop()
-		e.demandTokens -= r.PrefillTarget()
+		e.demandAdd(-r.PrefillTarget())
 		r.Seq = seq
 		if hit > 0 {
 			r.PrefilledTokens = hit
@@ -828,7 +868,7 @@ func (e *Engine) runReserve(rd *round) bool {
 					if pt := it.Req.PrefillTarget(); before < pt {
 						before = pt
 					}
-					e.demandTokens += after - before
+					e.demandAdd(after - before)
 				}
 				ok = true
 				break
@@ -1047,7 +1087,7 @@ func (e *Engine) ExtractRequests() (running, waiting []*request.Request, stalled
 	}
 	e.mutated()
 	running, stalled = e.running, e.stalled
-	e.demandTokens = 0
+	e.demandAdd(-e.demandTokens)
 	for e.queue.Len() > 0 {
 		waiting = append(waiting, e.queue.Pop())
 	}

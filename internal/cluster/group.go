@@ -36,6 +36,16 @@ type Group struct {
 	// planFn is the engine's PlanRound as a persistent closure, so the
 	// monitor's per-tick plan fan-out allocates nothing.
 	planFn func()
+
+	// idxDirty marks the group as queued on the cluster's dirty list for
+	// a demand fold and index key refresh (set by the first load/capacity
+	// change since the last sync, cleared by the flush). inActive mirrors
+	// membership in the cluster's persistent active candidate set, and
+	// lastDemandTokens is the group's contribution currently folded into
+	// the cluster demand total (both maintained by the cluster's sync).
+	idxDirty         bool
+	inActive         bool
+	lastDemandTokens int
 }
 
 // newGroup wires a group over instances that must already hold the layer
@@ -72,6 +82,10 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 		}
 	}
 	g.pool = kvcache.NewPool(capTokens/cl.BlockTokens, cl.BlockTokens)
+	// Reconfiguration resizes live pools (a drop grows the merged group's
+	// pool, a restore shrinks it back); capacity feeds the least-loaded
+	// routing key, so resizes queue an index refresh like demand deltas do.
+	g.pool.SetResizeHook(func() { cl.markDirty(g) })
 	if cl.PrefixCaching {
 		g.pool.EnableSharing(cl.cacheEvict)
 	}
@@ -115,6 +129,8 @@ func newGroup(id int, cl *Cluster, insts []*instance.Instance) (*Group, error) {
 				}
 				return pf.HandoffPrefill(g, r)
 			},
+			LoadChanged:       func() { cl.noteLoadChanged(g) },
+			MembershipChanged: cl.invalidateActive,
 		},
 	})
 	g.planFn = g.exec.PlanRound

@@ -99,6 +99,11 @@ type Config struct {
 	// Queue names the wait-queue discipline (sched.DisciplineNames); ""
 	// selects FCFS, which reproduces the pre-sched wait queue exactly.
 	Queue string
+	// ScanDispatch forces every cell's dispatcher onto the full candidate
+	// scan instead of the incremental router index
+	// (cluster.Config.ScanDispatch) — the oracle path for determinism
+	// diffs; byte-identical to the indexed default by contract.
+	ScanDispatch bool
 	// PrefixCaching enables content-addressed KVCache prefix sharing on
 	// every cell this config runs: requests carrying a shared prefix
 	// (spec clients with shared_prefix) deduplicate their system-prompt
@@ -318,6 +323,7 @@ func (c Config) clusterConfig(tr *workload.Trace) cluster.Config {
 		PrefixCaching:     c.PrefixCaching,
 		CacheEvict:        c.CacheEvict,
 		IntraCellParallel: c.IntraCellParallel,
+		ScanDispatch:      c.ScanDispatch,
 	}
 	if c.Stream {
 		cc.MetricsReservoir = runner.DefaultReservoir

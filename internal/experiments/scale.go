@@ -58,7 +58,12 @@ type ScaleCellTiming struct {
 type ScaleRungTiming struct {
 	Instances   int
 	WallSeconds float64
-	Cells       []ScaleCellTiming
+	// SecondsPerInstance normalizes the rung wall by fleet size. With the
+	// incremental router index the dispatch cost per request is O(log n),
+	// so this figure should stay flat up the ladder; a superlinear
+	// dispatcher shows up here as growth with Instances.
+	SecondsPerInstance float64
+	Cells              []ScaleCellTiming
 }
 
 // ScaleTiming carries the sweep's host-side timing and worker configuration.
@@ -203,6 +208,9 @@ func ExperimentScale(cfg Config) (*ScaleResult, error) {
 			}
 		}
 		rung.WallSeconds = rt.WallSeconds
+		if rung.Instances > 0 {
+			rt.SecondsPerInstance = rt.WallSeconds / float64(rung.Instances)
+		}
 		timing.Rungs = append(timing.Rungs, rt)
 	}
 	timing.TotalWallSeconds = time.Since(start).Seconds()
@@ -225,8 +233,9 @@ func PrintExperimentScale(w io.Writer, r *ScaleResult) {
 			t.HeapInuseMB, t.SysMB)
 	}
 	for _, rung := range r.Rungs {
-		fmt.Fprintf(w, "%4d instances | %d requests, %.1f req/s avg | slowest cell %.1fs\n",
-			rung.Instances, rung.Requests, rung.AvgRPS, rung.WallSeconds)
+		fmt.Fprintf(w, "%4d instances | %d requests, %.1f req/s avg | slowest cell %.1fs (%.3f s/inst)\n",
+			rung.Instances, rung.Requests, rung.AvgRPS, rung.WallSeconds,
+			rung.WallSeconds/float64(rung.Instances))
 		for _, c := range rung.Systems {
 			fmt.Fprintf(w, "    %-10s finished %7d  unserved %6d  TTFT p50/p99 %.2f/%.2f s  TPOT p99 %.0f ms  %.0f tok/s",
 				c.System, c.Finished, c.Unserved, c.TTFTP50, c.TTFTP99, c.TPOTP99*1e3, c.Throughput)

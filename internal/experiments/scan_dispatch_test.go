@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The sublinear-dispatch contract at the experiment level: forcing the
+// full candidate scan (the semantic oracle) reproduces the indexed
+// dispatcher exactly — every percentile, series, and per-record latency —
+// for each router that carries an incremental index. This is the in-repo
+// mirror of the CI determinism diff.
+func TestScanDispatchMatchesIndexedDispatch(t *testing.T) {
+	for _, router := range []string{"", "least-kv", "queue-depth"} {
+		cfg := Quick()
+		cfg.Router = router
+		indexed, err := RunAllSystems(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg = Quick()
+		cfg.Router = router
+		cfg.ScanDispatch = true
+		scanned, err := RunAllSystems(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Errorf("router %q: scan-dispatch run differs from indexed run", router)
+		}
+	}
+}

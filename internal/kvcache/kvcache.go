@@ -169,6 +169,9 @@ type Pool struct {
 	tr         obs.Tracer
 	traceNow   func() sim.Time
 	traceGroup int
+
+	// resized, when set, fires after every capacity change (SetResizeHook).
+	resized func()
 }
 
 // NewPool creates a pool of totalBlocks blocks of blockTokens tokens each.
@@ -212,6 +215,14 @@ func (p *Pool) trace(name string, args [2]obs.Arg) {
 		Cat: obs.CatKVCache, Name: name, Group: p.traceGroup,
 		Track: "kvcache", Req: obs.ReqNone, Args: args})
 }
+
+// SetResizeHook registers a callback fired after every capacity change
+// (AddBlocks, RemoveBlocks). Reconfiguration resizes live pools — a drop
+// grows the merged group's pool with the freed parameter memory, a restore
+// shrinks it back — and the dispatcher's least-loaded index keys on
+// demand/capacity, so capacity changes must invalidate it like demand
+// changes do.
+func (p *Pool) SetResizeHook(fn func()) { p.resized = fn }
 
 // SharingEnabled reports whether prefix sharing is on.
 func (p *Pool) SharingEnabled() bool { return p.sharing }
@@ -284,6 +295,9 @@ func (p *Pool) AddBlocks(n int) {
 	}
 	p.totalBlocks += n
 	p.freeBlocks += n
+	if p.resized != nil {
+		p.resized()
+	}
 }
 
 // RemoveBlocks shrinks the pool by n blocks, evicting cached-free blocks
@@ -311,6 +325,9 @@ func (p *Pool) RemoveBlocksEvicting(n int) (evicted int, err error) {
 	}
 	p.totalBlocks -= n
 	p.freeBlocks -= n
+	if p.resized != nil {
+		p.resized()
+	}
 	return evicted, nil
 }
 

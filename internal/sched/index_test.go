@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKeyedRouterRegistry(t *testing.T) {
+	// Exactly the scalar-key routers are Keyed; stateful ones must stay on
+	// the scan path (their picks are not a per-candidate minimum).
+	keyed := map[string]bool{"least-loaded": true, "least-kv": true, "queue-depth": true}
+	for _, name := range RouterNames {
+		r, err := NewRouterByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.(Keyed); ok != keyed[name] {
+			t.Errorf("router %s: Keyed = %v, want %v", name, ok, keyed[name])
+		}
+	}
+}
+
+func TestIndexBasicOps(t *testing.T) {
+	x := NewIndex(NewLeastKVDemand())
+	if _, ok := x.Min(); ok {
+		t.Fatal("empty index has a min")
+	}
+	x.Update(Candidate{ID: 3, DemandTokens: 30, CapacityTokens: 100})
+	x.Update(Candidate{ID: 1, DemandTokens: 50, CapacityTokens: 100})
+	x.Update(Candidate{ID: 2, DemandTokens: 30, CapacityTokens: 100})
+	if id, _ := x.Min(); id != 2 {
+		t.Fatalf("Min = %d, want 2 (key tie broken by lowest ID)", id)
+	}
+	// Repositioning under a new key.
+	x.Update(Candidate{ID: 1, DemandTokens: 5, CapacityTokens: 100})
+	if id, _ := x.Min(); id != 1 {
+		t.Fatalf("Min after update = %d, want 1", id)
+	}
+	x.Remove(1)
+	x.Remove(99) // unknown IDs are a no-op
+	if id, _ := x.Min(); id != 2 {
+		t.Fatalf("Min after remove = %d, want 2", id)
+	}
+	if x.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", x.Len())
+	}
+	x.Reset()
+	if x.Len() != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+}
+
+// oracleGroup is one simulated group's routing-visible state.
+type oracleGroup struct {
+	c      Candidate
+	active bool
+}
+
+// TestIndexMatchesScanOracle is the dispatch-equivalence property test:
+// over randomized demand/queue/capacity/close/role-change sequences on a
+// 512-group fleet, every keyed router's incrementally maintained index
+// must pick exactly what its full scan over the ascending-ID slate picks,
+// at every step. The non-keyed routers (round-robin, p2c, affinity) ride
+// along on the same slates: two identically seeded instances must make
+// identical, in-range picks — the scan fallback's determinism contract.
+func TestIndexMatchesScanOracle(t *testing.T) {
+	const nGroups = 512
+	keyedNames := []string{"least-loaded", "least-kv", "queue-depth"}
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+
+		groups := make([]oracleGroup, nGroups)
+		keyed := make([]Keyed, len(keyedNames))
+		indexes := make([]*Index, len(keyedNames))
+		for i, name := range keyedNames {
+			r, err := NewRouterByName(name, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keyed[i] = r.(Keyed)
+			indexes[i] = NewIndex(keyed[i])
+		}
+		update := func(g *oracleGroup) {
+			for _, x := range indexes {
+				x.Update(g.c)
+			}
+		}
+		for i := range groups {
+			groups[i] = oracleGroup{
+				c: Candidate{
+					ID:             i,
+					DemandTokens:   rng.Intn(50_000),
+					CapacityTokens: 1 + rng.Intn(200_000),
+					QueueLen:       rng.Intn(32),
+				},
+				active: true,
+			}
+			update(&groups[i])
+		}
+
+		// Identically seeded scan-router pairs must agree step for step.
+		type pair struct{ a, b Router }
+		scanPairs := map[string]pair{}
+		for _, name := range []string{"round-robin", "p2c", "affinity"} {
+			a, _ := NewRouterByName(name, seed)
+			b, _ := NewRouterByName(name, seed)
+			scanPairs[name] = pair{a, b}
+		}
+		r := req(1, 0, "")
+		r.Client = "tenant-a"
+
+		var slate []Candidate
+		for step := 0; step < 3000; step++ {
+			g := &groups[rng.Intn(nGroups)]
+			switch op := rng.Intn(12); {
+			case op == 0: // close or role change away from arrivals
+				if g.active {
+					g.active = false
+					for _, x := range indexes {
+						x.Remove(g.c.ID)
+					}
+				}
+			case op == 1: // (re)join the candidate set
+				if !g.active {
+					g.active = true
+					update(g)
+				}
+			case op == 2: // reconfiguration resizes the pool
+				g.c.CapacityTokens = 1 + rng.Intn(200_000)
+				if g.active {
+					update(g)
+				}
+			default: // demand/queue churn (enqueue, admit, finish, growth)
+				g.c.DemandTokens += rng.Intn(4000) - 1500
+				if g.c.DemandTokens < 0 {
+					g.c.DemandTokens = 0
+				}
+				g.c.QueueLen += rng.Intn(5) - 2
+				if g.c.QueueLen < 0 {
+					g.c.QueueLen = 0
+				}
+				if g.active {
+					update(g)
+				}
+			}
+
+			slate = slate[:0]
+			for i := range groups {
+				if groups[i].active {
+					slate = append(slate, groups[i].c)
+				}
+			}
+			if len(slate) == 0 {
+				continue
+			}
+			for i, k := range keyed {
+				want := slate[k.Route(r, slate)].ID
+				got, ok := indexes[i].Min()
+				if !ok {
+					t.Fatalf("seed %d step %d: %s index empty with %d active",
+						seed, step, k.Name(), len(slate))
+				}
+				if got != want {
+					t.Fatalf("seed %d step %d: %s index picked %d, scan picked %d",
+						seed, step, k.Name(), got, want)
+				}
+				if indexes[i].Len() != len(slate) {
+					t.Fatalf("seed %d step %d: %s index holds %d of %d active",
+						seed, step, k.Name(), indexes[i].Len(), len(slate))
+				}
+			}
+			for name, p := range scanPairs {
+				ia, ib := p.a.Route(r, slate), p.b.Route(r, slate)
+				if ia != ib {
+					t.Fatalf("seed %d step %d: %s diverged: %d vs %d", seed, step, name, ia, ib)
+				}
+				if ia < 0 || ia >= len(slate) {
+					t.Fatalf("seed %d step %d: %s out of range: %d", seed, step, name, ia)
+				}
+			}
+		}
+	}
+}

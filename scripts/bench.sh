@@ -26,7 +26,7 @@ go test -run '^$' -bench 'KVCache|Figure2|ExperimentPrefix' \
 go test -run '^$' -bench 'EngineRound|Figure2Overload|ExperimentDisagg' \
     -benchtime "$BENCHTIME" -benchmem . \
     | tee "$OUT/disagg.txt"
-go test -run '^$' -bench 'Figure2Overload|ScaleFleet' \
+go test -run '^$' -bench 'Figure2Overload|ScaleFleet|Dispatch512' \
     -benchtime "$BENCHTIME" -benchmem . \
     | tee "$OUT/scale.txt"
 
@@ -96,6 +96,10 @@ if os.path.exists(run_file):
     sr = doc['scale_run']
     sr['rung_wall_s'] = {str(r['Instances']): round(r['WallSeconds'], 1)
                          for r in timing['Rungs']}
+    # Flat s/inst up the ladder is the sublinear-dispatch acceptance signal.
+    sr['rung_s_per_instance'] = {
+        str(r['Instances']): round(r.get('SecondsPerInstance', 0), 3)
+        for r in timing['Rungs']}
     sr['total_wall_s'] = round(timing['TotalWallSeconds'], 1)
     sr['instances_ladder'] = [r['Instances'] for r in timing['Rungs']]
     top = run['Rungs'][-1]
